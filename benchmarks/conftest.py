@@ -1,0 +1,30 @@
+"""Shared pytest-benchmark configuration for the figure benchmarks.
+
+Each module regenerates one figure of the paper via
+:mod:`repro.bench.experiments`; the benchmark value is the wall-clock of the
+whole experiment and ``extra_info`` carries the figure's numbers.  Scale is
+controlled by ``REPRO_BENCH_SCALE`` (quick/default/full; default quick).
+"""
+
+import json
+
+import pytest
+
+
+def run_figure(benchmark, experiment, **kwargs):
+    """Run ``experiment`` once under the benchmark timer and attach its
+    structured series to the benchmark record."""
+    report = benchmark.pedantic(
+        lambda: experiment(**kwargs), rounds=1, iterations=1
+    )
+    benchmark.extra_info["figure"] = report.figure
+    benchmark.extra_info["series"] = json.loads(json.dumps(report.series, default=float))
+    return report
+
+
+@pytest.fixture()
+def figure_runner(benchmark):
+    def runner(experiment, **kwargs):
+        return run_figure(benchmark, experiment, **kwargs)
+
+    return runner

@@ -1,0 +1,108 @@
+"""Ablation benchmarks for design choices the paper leaves open.
+
+- cache replacement (Section 6.2): capped caches must stay usable;
+- multi-item processing (Section 6.3): a second item can only reduce the
+  region fetched;
+- the unstable-case invalidation approximation: coarser covers mean fewer
+  range queries but more points to read.
+"""
+
+from repro.bench.ablations import (
+    ablation_cost_strategy,
+    ablation_invalidation,
+    ablation_multi_item,
+    ablation_page_cache,
+    ablation_replacement,
+    ablation_skyline_algorithm,
+)
+
+
+def test_replacement(figure_runner):
+    report = figure_runner(ablation_replacement)
+    s = report.series
+
+    # An unbounded cache is at least as effective as any capped one.
+    assert s["unbounded"]["hit_rate"] >= s["LRU, cap 8"]["hit_rate"] - 1e-9
+    # Capped caches actually evicted under this workload (the test bites).
+    assert s["LRU, cap 8"]["evictions"] > 0
+    assert s["LCU, cap 8"]["evictions"] > 0
+    # Even under pressure the cache keeps a substantial hit rate.
+    assert s["LRU, cap 8"]["hit_rate"] > 0.5
+
+
+def test_multi_item(figure_runner):
+    report = figure_runner(ablation_multi_item)
+    s = report.series
+
+    single = s["single item (aMPR 1NN)"]["mean_points_read"]
+    multi2 = s["multi item (2 x 1NN)"]["mean_points_read"]
+    # A second item can only remove territory from the MPR.
+    assert multi2 <= single * 1.05
+
+
+def test_page_cache(figure_runner):
+    """A warm buffer pool helps the Baseline's I/O but cannot remove its
+    CPU work; CBCS avoids examining the points in the first place."""
+    report = figure_runner(ablation_page_cache)
+    s = report.series
+
+    cold = s["Baseline (cold cache)"]
+    warm = s["Baseline (warm buffer)"]
+    cbcs = s["CBCS aMPR (cold cache)"]
+
+    # The buffer removes most repeated-read latency ...
+    assert warm["io_ms"] < cold["io_ms"]
+    # ... but leaves the tuple-examination work untouched.
+    assert warm["mean_points_read"] == cold["mean_points_read"]
+    # CBCS reads far fewer points than either Baseline configuration.
+    assert cbcs["mean_points_read"] < 0.6 * warm["mean_points_read"]
+
+
+def test_skyline_algorithm_independence(figure_runner):
+    """Section 7.3: 'the benefit of our CBCS method is independent of the
+    skyline algorithm used, since this is anyway not a bottleneck'."""
+    report = figure_runner(ablation_skyline_algorithm)
+    s = report.series
+
+    # Identical disk behaviour regardless of the in-memory algorithm.
+    reads = [v["mean_points_read"] for v in s.values()]
+    assert max(reads) == min(reads)
+
+    # The skyline stage is a minor part of the total for every algorithm.
+    for v in s.values():
+        assert v["mean_skyline_ms"] <= v["mean_ms"] * 0.5
+
+
+def test_cost_strategy(figure_runner):
+    """The cost-based strategy optimizes points read directly; it must not
+    lose on that metric to the heuristics, whatever the selection overhead."""
+    report = figure_runner(ablation_cost_strategy)
+    s = report.series
+    heuristic_best = min(
+        s["MaxOverlapSP"]["mean_points_read"],
+        s["PrioritizednD (Std)"]["mean_points_read"],
+    )
+    assert s["CostBased"]["mean_points_read"] <= heuristic_best * 1.1
+    # its price is visible as selection overhead
+    assert s["CostBased"]["processing_ms"] >= s["MaxOverlapSP"]["processing_ms"]
+
+
+def test_invalidation(figure_runner):
+    report = figure_runner(ablation_invalidation)
+    s = report.series
+
+    # Coarser covers: fewer range queries ...
+    assert (
+        s["1 anchor (collapse)"]["mean_boxes"]
+        <= s["8 anchors"]["mean_boxes"]
+        <= s["exact staircase"]["mean_boxes"] + 1e-9
+    )
+    # ... at the price of more points to read.
+    assert (
+        s["exact staircase"]["mean_points"]
+        <= s["8 anchors"]["mean_points"] + 1e-9
+    )
+    assert (
+        s["8 anchors"]["mean_points"]
+        <= s["1 anchor (collapse)"]["mean_points"] + 1e-9
+    )

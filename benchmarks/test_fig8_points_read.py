@@ -1,0 +1,28 @@
+"""Figure 8: average number of points read from disk.
+
+Paper result: Baseline's reads grow steeply with dataset size while the
+cache-based methods' stay nearly flat (driven by the constraint *change*,
+not the dataset size); the exact MPR reads the fewest points of all.
+"""
+
+import math
+
+from repro.bench.experiments import fig8_points_read
+
+
+def finite(values):
+    return [v for v in values if not math.isnan(v)]
+
+
+def test_fig8(figure_runner):
+    report = figure_runner(fig8_points_read)
+    a = report.series["a"]  # |D| = 5
+    b = report.series["b"]  # |D| = 3, incl. exact MPR
+
+    base_a, ampr_a = finite(a["Baseline"]), finite(a["aMPR"])
+    assert base_a[-1] > base_a[0]  # Baseline grows with |S|
+    assert ampr_a[-1] < base_a[-1]  # aMPR reads fewer points
+
+    # 8b: MPR <= aMPR <= Baseline (minimality ordering).
+    assert finite(b["MPR"])[-1] <= finite(b["aMPR"])[-1] + 1e-9
+    assert finite(b["aMPR"])[-1] < finite(b["Baseline"])[-1]

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""A multi-user property portal (the paper's Section 7.5 scenario).
+
+Many independent users query a large real-estate dataset (the synthetic
+Danish-property substitute) with their own constraints.  Their constraint
+regions overlap even though no two are identical, so a shared CBCS cache --
+preloaded by earlier traffic -- accelerates everyone.  The script compares
+cache search strategies and aMPR neighbour counts, the two knobs the paper
+tunes for this workload.
+
+Run:  python examples/real_estate_portal.py
+"""
+
+import numpy as np
+
+from repro import CBCS, BaselineMethod, Constraints, DiskTable
+from repro.core.ampr import ApproximateMPR
+from repro.core.strategies import MaxOverlapSP, PrioritizedND, RandomStrategy
+from repro.data.realestate import COLUMNS, danish_real_estate
+from repro.workload.generator import WorkloadGenerator
+
+
+def run_portal(data, strategy, k, warm, queries):
+    engine = CBCS(
+        DiskTable(data),
+        strategy=strategy,
+        region_computer=ApproximateMPR(k=k),
+    )
+    engine.warm(warm)
+    outcomes = [engine.query(c) for c in queries]
+    return {
+        "mean_ms": float(np.mean([o.total_ms for o in outcomes])),
+        "mean_reads": float(np.mean([o.points_read for o in outcomes])),
+        "hits": sum(1 for o in outcomes if o.cache_hit),
+        "n": len(outcomes),
+    }
+
+
+def main():
+    n = 120_000
+    print(f"Generating {n:,} synthetic Danish property records "
+          f"(columns: {', '.join(COLUMNS)}) ...")
+    data = danish_real_estate(n, seed=7)
+
+    gen = WorkloadGenerator(data, seed=1)
+    warm = gen.independent_queries(300)    # earlier users fill the cache
+    queries = gen.independent_queries(40)  # the users we measure
+
+    print("\nBaseline (every user recomputes from scratch):")
+    baseline = BaselineMethod(DiskTable(data))
+    base_out = [baseline.query(c) for c in queries]
+    base_ms = float(np.mean([o.total_ms for o in base_out]))
+    base_reads = float(np.mean([o.points_read for o in base_out]))
+    print(f"  mean response {base_ms:8.1f} ms, mean points read {base_reads:10,.0f}")
+
+    print("\nCBCS with a shared cache (300 earlier queries preloaded):")
+    configs = [
+        ("PrioritizednD(Std), 5 NNs", PrioritizedND.std(), 5),
+        ("PrioritizednD(Std), 1 NN", PrioritizedND.std(), 1),
+        ("MaxOverlapSP,       5 NNs", MaxOverlapSP(), 5),
+        ("Random,             5 NNs", RandomStrategy(seed=3), 5),
+    ]
+    print(f"  {'configuration':<28} {'mean ms':>9} {'mean reads':>11} {'cache hits':>10}")
+    for label, strategy, k in configs:
+        stats = run_portal(data, strategy, k, warm, queries)
+        print(
+            f"  {label:<28} {stats['mean_ms']:>9.1f} {stats['mean_reads']:>11,.0f}"
+            f" {stats['hits']:>6}/{stats['n']}"
+        )
+
+    print(
+        "\nInterpretation: with a well-filled cache, a strategy-guided CBCS"
+        "\nanswers unrelated users' queries reading a fraction of the rows"
+        "\nthe Baseline needs; the cache item choice (strategy) and the"
+        "\naMPR neighbour count both matter, as in the paper's Figs. 11-12."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Regenerate the paper's figures as text tables.
+
+Usage::
+
+    python -m repro.bench                 # every figure at the active scale
+    python -m repro.bench fig5a fig9b     # selected figures
+    python -m repro.bench --json out.json fig5a   # also dump raw series
+    python -m repro.bench --svg charts/ fig5a     # also render SVG charts
+    REPRO_BENCH_SCALE=default python -m repro.bench
+
+Scales: quick (default; seconds per figure), default (minutes), full
+(closest to paper scale).  Results and the paper-vs-measured comparison are
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.harness import bench_scale
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    json_path = None
+    svg_dir = None
+    for flag_name in ("--json", "--svg"):
+        if flag_name in argv:
+            flag = argv.index(flag_name)
+            try:
+                value = argv[flag + 1]
+            except IndexError:
+                print(f"{flag_name} requires a path")
+                return 2
+            if flag_name == "--json":
+                json_path = value
+            else:
+                svg_dir = value
+            del argv[flag : flag + 2]
+    names = argv or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; available: {list(ALL_EXPERIMENTS)}")
+        return 2
+    print(f"# repro benchmark run (scale={bench_scale()})\n")
+    dump = {"scale": bench_scale(), "figures": {}}
+    for name in names:
+        start = time.perf_counter()
+        report = ALL_EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - start
+        print(str(report))
+        print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+        dump["figures"][name] = {
+            "title": report.title,
+            "seconds": round(elapsed, 2),
+            "series": json.loads(json.dumps(report.series, default=float)),
+        }
+        if svg_dir is not None:
+            from pathlib import Path
+
+            from repro.bench.svg import render_figure
+
+            svg = render_figure(report)
+            if svg is not None:
+                out_dir = Path(svg_dir)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                target = out_dir / f"{name}.svg"
+                target.write_text(svg)
+                print(f"[chart written to {target}]")
+    if json_path is not None:
+        with open(json_path, "w") as handle:
+            json.dump(dump, handle, indent=2)
+        print(f"[series written to {json_path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

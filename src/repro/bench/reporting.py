@@ -1,0 +1,88 @@
+"""Plain-text rendering of benchmark results in the paper's figure shapes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render one figure-style series table: x values as rows, one column
+    per method."""
+    headers = [x_label] + [
+        f"{name} ({unit})" if unit else name for name in series
+    ]
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [x]
+        for values in series.values():
+            row.append(values[i] if i < len(values) else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def distribution_summary(values: np.ndarray) -> Dict[str, float]:
+    """Five-number summary used for the paper's box-plot figures (11, 12)."""
+    values = np.asarray(values, dtype=float)
+    if len(values) == 0:
+        return {k: float("nan") for k in ("min", "p25", "median", "p75", "max", "mean")}
+    return {
+        "min": float(values.min()),
+        "p25": float(np.percentile(values, 25)),
+        "median": float(np.percentile(values, 50)),
+        "p75": float(np.percentile(values, 75)),
+        "max": float(values.max()),
+        "mean": float(values.mean()),
+    }
+
+
+def format_boxplot_table(
+    series: Dict[str, np.ndarray], title: str = "", unit: str = "ms"
+) -> str:
+    """Render response-time distributions as a table of quantiles."""
+    headers = ["method", f"min ({unit})", "p25", "median", "p75", f"max ({unit})", "mean"]
+    rows = []
+    for name, values in series.items():
+        s = distribution_summary(np.asarray(values))
+        rows.append(
+            [name, s["min"], s["p25"], s["median"], s["p75"], s["max"], s["mean"]]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,86 @@
+"""Cache-Based Constrained Skyline (CBCS) -- the paper's contribution.
+
+Modules:
+
+- :mod:`~repro.core.stability` -- when a cached skyline's non-members remain
+  non-members under new constraints (Definition 4, Theorem 1, Corollaries
+  1-2);
+- :mod:`~repro.core.cases` -- the four incremental single-bound overlap
+  cases and their specialized minimal-read solutions (Theorems 2-5);
+- :mod:`~repro.core.mpr` -- the Missing Points Region: the minimal region
+  that must be fetched for arbitrary constraint changes, decomposed into
+  disjoint range queries (Definition 5, Algorithm 1, Theorems 6-7);
+- :mod:`~repro.core.ampr` -- the approximate MPR that prunes with only the
+  k cached skyline points nearest the query (Section 5.3);
+- :mod:`~repro.core.cache` -- the in-memory skyline cache indexed by an
+  R*-tree over result MBRs, with LRU/LCU replacement (Sections 6, 6.2);
+- :mod:`~repro.core.strategies` -- the seven cache search strategies of
+  Section 6.1;
+- :mod:`~repro.core.cbcs` -- the CBCS query engine tying it all together.
+
+Extensions beyond the paper's evaluation (flagged as future work there):
+
+- :mod:`~repro.core.multi` -- multi-item cache exploitation (Section 6.3);
+- :mod:`~repro.core.dynamic` -- dynamic data with continuous per-item
+  skyline maintenance (Section 6.2).
+"""
+
+from repro.core.ampr import ApproximateMPR, ExactMPR
+from repro.core.cache import CacheItem, SkylineCache
+from repro.core.cases import (
+    CASE_A,
+    CASE_B,
+    CASE_C,
+    CASE_D,
+    CASE_DISJOINT,
+    CASE_EXACT,
+    GENERAL_STABLE,
+    GENERAL_UNSTABLE,
+    classify_change,
+)
+from repro.core.cbcs import CBCS
+from repro.core.dynamic import DynamicCBCS
+from repro.core.mpr import MPRResult, compute_mpr
+from repro.core.multi import MultiItemMPR
+from repro.core.stability import guaranteed_stable, is_stable_for
+from repro.core.strategies import (
+    CostBased,
+    MaxOverlap,
+    MaxOverlapSP,
+    OptimumDistance,
+    Prioritized1D,
+    PrioritizedND,
+    RandomStrategy,
+    default_strategy_suite,
+)
+
+__all__ = [
+    "ApproximateMPR",
+    "CASE_A",
+    "CASE_B",
+    "CASE_C",
+    "CASE_D",
+    "CASE_DISJOINT",
+    "CASE_EXACT",
+    "CBCS",
+    "CacheItem",
+    "CostBased",
+    "DynamicCBCS",
+    "ExactMPR",
+    "GENERAL_STABLE",
+    "GENERAL_UNSTABLE",
+    "MPRResult",
+    "MaxOverlap",
+    "MaxOverlapSP",
+    "MultiItemMPR",
+    "OptimumDistance",
+    "Prioritized1D",
+    "PrioritizedND",
+    "RandomStrategy",
+    "SkylineCache",
+    "classify_change",
+    "compute_mpr",
+    "default_strategy_suite",
+    "guaranteed_stable",
+    "is_stable_for",
+]

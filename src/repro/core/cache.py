@@ -1,0 +1,238 @@
+"""The in-memory constrained-skyline cache (paper Definition 3, Section 6).
+
+Each cache item is the paper's 3-tuple ``<Sky(S,C), MBR, C>``: the result of
+an earlier query, the minimum bounding rectangle of that result, and the
+constraints that produced it.  The cache is "organized by an R*-tree
+indexing the MBR of each cached skyline"; a lookup for new constraints
+``C'`` returns every item whose MBR intersects ``R_C'``.
+
+Cache replacement (Section 6.2) is "supported by insertion and use counters
+on the R* tree": this module implements LRU (least recently used) and LCU
+(least commonly used) eviction over a configurable capacity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Literal, Optional
+
+import numpy as np
+
+from repro.geometry.constraints import Constraints
+from repro.index.rtree import RTree
+
+ReplacementPolicy = Literal["lru", "lcu"]
+
+
+@dataclass(eq=False)  # identity semantics: items are unique live objects
+class CacheItem:
+    """One cached constrained-skyline result: ``<Sky(S,C), MBR, C>``."""
+
+    constraints: Constraints
+    skyline: np.ndarray
+    mbr_lo: np.ndarray
+    mbr_hi: np.ndarray
+    item_id: int
+    inserted_at: int
+    last_used: int = 0
+    use_count: int = 0
+
+    @property
+    def skyline_size(self) -> int:
+        return len(self.skyline)
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheItem(id={self.item_id}, |sky|={self.skyline_size}, "
+            f"C={self.constraints!r})"
+        )
+
+
+class SkylineCache:
+    """An in-memory cache of constrained skylines with an R*-tree MBR index."""
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        policy: ReplacementPolicy = "lru",
+        rtree_max_entries: int = 16,
+    ):
+        """``capacity`` of None means unbounded (the paper's experiments
+        never evict; replacement is exercised by our extension tests)."""
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive (or None for unbounded)")
+        if policy not in ("lru", "lcu"):
+            raise ValueError(f"unknown replacement policy {policy!r}")
+        self.capacity = capacity
+        self.policy: ReplacementPolicy = policy
+        self._rtree_max_entries = rtree_max_entries
+        self._items: dict[int, CacheItem] = {}
+        self._by_constraints: dict[tuple, int] = {}
+        self._index: Optional[RTree] = None
+        self._clock = itertools.count(1)
+        self._id_counter = itertools.count(1)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, constraints: Constraints, skyline: np.ndarray) -> Optional[CacheItem]:
+        """Cache a query result; returns the item, or None if not cacheable.
+
+        Empty skylines are not cached: they have no MBR to index and no
+        points to prune with.  Re-inserting identical constraints refreshes
+        the existing item instead of duplicating it.
+        """
+        skyline = np.asarray(skyline, dtype=float)
+        if len(skyline) == 0:
+            return None
+        if skyline.ndim != 2 or skyline.shape[1] != constraints.ndim:
+            raise ValueError("skyline must be a (k, d) array matching constraints")
+
+        existing_id = self._by_constraints.get(constraints.key())
+        if existing_id is not None:
+            item = self._items[existing_id]
+            self.touch(item)
+            return item
+
+        item = CacheItem(
+            constraints=constraints,
+            skyline=skyline.copy(),
+            mbr_lo=skyline.min(axis=0),
+            mbr_hi=skyline.max(axis=0),
+            item_id=next(self._id_counter),
+            inserted_at=next(self._clock),
+        )
+        item.last_used = item.inserted_at
+        if self._index is None:
+            self._index = RTree(
+                constraints.ndim, max_entries=self._rtree_max_entries
+            )
+        self._items[item.item_id] = item
+        self._by_constraints[constraints.key()] = item.item_id
+        self._index.insert(item.mbr_lo, item.mbr_hi, item.item_id)
+        self._evict_if_needed()
+        return item
+
+    def remove(self, item: CacheItem) -> None:
+        """Drop one item (used by dynamic-data maintenance, Section 6.2)."""
+        if item.item_id in self._items:
+            self._remove(item)
+
+    def replace_skyline(self, item: CacheItem, skyline: np.ndarray) -> Optional[CacheItem]:
+        """Swap an item's skyline (and MBR) after a data update, keeping its
+        constraints; returns the refreshed item (use counters carry over)."""
+        skyline = np.asarray(skyline, dtype=float)
+        self.remove(item)
+        refreshed = self.insert(item.constraints, skyline)
+        if refreshed is not None:
+            refreshed.use_count = item.use_count
+            refreshed.last_used = item.last_used
+        return refreshed
+
+    def touch(self, item: CacheItem) -> None:
+        """Record a use of ``item`` (feeds the LRU/LCU counters)."""
+        item.last_used = next(self._clock)
+        item.use_count += 1
+
+    def clear(self) -> None:
+        """Drop every item."""
+        self._items.clear()
+        self._by_constraints.clear()
+        self._index = None
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def candidates(self, query: Constraints) -> List[CacheItem]:
+        """Return all items whose skyline MBR intersects ``R_C'``.
+
+        This is the paper's cache search: "we perform a search on the
+        R*-tree fetching all cache items where R_C' intersects MBR != empty"
+        (Section 6).  Hit/miss counters are updated.
+        """
+        if self._index is None or len(self._items) == 0:
+            self.misses += 1
+            return []
+        ids = self._index.search(query.lo, query.hi)
+        items = [self._items[i] for i in ids]
+        if items:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return items
+
+    def exact_match(self, query: Constraints) -> Optional[CacheItem]:
+        """Return the item cached under exactly these constraints, if any."""
+        item_id = self._by_constraints.get(query.key())
+        return self._items.get(item_id) if item_id is not None else None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items.values())
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Save every cached item (constraints, skyline, use counters) to
+        ``.npz`` so a service can restart with a warm semantic cache."""
+        arrays = {
+            "n_items": np.array(len(self._items)),
+            "capacity": np.array(self.capacity if self.capacity is not None else -1),
+            "policy": np.array(self.policy),
+        }
+        for i, item in enumerate(sorted(self._items.values(), key=lambda it: it.item_id)):
+            arrays[f"lo_{i}"] = np.asarray(item.constraints.lo)
+            arrays[f"hi_{i}"] = np.asarray(item.constraints.hi)
+            arrays[f"sky_{i}"] = item.skyline
+            arrays[f"meta_{i}"] = np.array(
+                [item.inserted_at, item.last_used, item.use_count]
+            )
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path) -> "SkylineCache":
+        """Load a cache saved with :meth:`save`."""
+        with np.load(path, allow_pickle=False) as archive:
+            capacity = int(archive["capacity"])
+            cache = cls(
+                capacity=None if capacity < 0 else capacity,
+                policy=str(archive["policy"]),
+            )
+            for i in range(int(archive["n_items"])):
+                item = cache.insert(
+                    Constraints(archive[f"lo_{i}"], archive[f"hi_{i}"]),
+                    archive[f"sky_{i}"],
+                )
+                inserted_at, last_used, use_count = archive[f"meta_{i}"]
+                item.inserted_at = int(inserted_at)
+                item.last_used = int(last_used)
+                item.use_count = int(use_count)
+        return cache
+
+    # ------------------------------------------------------------------
+    # Replacement
+    # ------------------------------------------------------------------
+    def _evict_if_needed(self) -> None:
+        while self.capacity is not None and len(self._items) > self.capacity:
+            victim = min(self._items.values(), key=self._eviction_key)
+            self._remove(victim)
+            self.evictions += 1
+
+    def _eviction_key(self, item: CacheItem):
+        if self.policy == "lru":
+            return (item.last_used, item.item_id)
+        return (item.use_count, item.last_used, item.item_id)
+
+    def _remove(self, item: CacheItem) -> None:
+        del self._items[item.item_id]
+        del self._by_constraints[item.constraints.key()]
+        removed = self._index.delete(item.mbr_lo, item.mbr_hi, item.item_id)
+        if not removed:
+            raise RuntimeError("cache index out of sync with item store")

@@ -1,0 +1,274 @@
+"""The Cache-Based Constrained Skyline engine (paper Section 6).
+
+"Upon receiving a query Sky(S, C'), we perform a search on the R*-tree
+fetching all cache items where R_C' intersects MBR != empty.  If none exist,
+Sky(S, C') is computed naively.  If more than one cache item is returned, we
+select the most efficient based on a cache search strategy.  We then compute
+the MPR.  Finally we fetch the points in the MPR, merge them with the cached
+Sky(S, C), and compute Sky(S, C')."
+
+The engine is parameterized by the cache, the search strategy, the region
+computer (exact MPR or aMPR), and the in-memory skyline algorithm (SFS by
+default, as in the paper -- "the benefit of our CBCS method is independent
+of the skyline algorithm used").  Every query returns a
+:class:`~repro.stats.QueryOutcome` with the Figure-10 stage breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.ampr import ApproximateMPR
+from repro.core.cache import SkylineCache
+from repro.core.cases import CASE_EXACT, classify_change
+from repro.core.strategies import CacheSearchStrategy, MaxOverlapSP
+from repro.geometry.constraints import Constraints
+from repro.skyline.sfs import sfs_skyline
+from repro.stats import QueryOutcome, Stopwatch
+from repro.storage.table import DiskTable
+
+CASE_MISS = "miss"
+
+
+@dataclass
+class QueryPlan:
+    """A dry-run description of how CBCS would answer a query.
+
+    Produced by :meth:`CBCS.explain` without touching the disk or mutating
+    the cache -- the EXPLAIN of this engine.  ``estimated_points`` uses the
+    table's per-dimension selectivity estimates for each planned range
+    query, so it is an upper-bound style estimate, not an exact count.
+    """
+
+    case: str
+    cache_hit: bool
+    stable: Optional[bool]
+    candidates: int
+    item_id: Optional[int]
+    reusable_points: int
+    range_queries: int
+    estimated_points: int
+    boxes: List = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line human-readable rendering."""
+        source = f"item #{self.item_id}" if self.cache_hit else "no cache item"
+        return (
+            f"case={self.case} via {source} ({self.candidates} candidates); "
+            f"reuse {self.reusable_points} cached points, issue "
+            f"{self.range_queries} range queries (~{self.estimated_points} "
+            f"points)"
+        )
+
+
+class CBCS:
+    """Cache-Based Constrained Skyline query engine."""
+
+    def __init__(
+        self,
+        table: DiskTable,
+        cache: Optional[SkylineCache] = None,
+        strategy: Optional[CacheSearchStrategy] = None,
+        region_computer=None,
+        skyline_algorithm: Callable[[np.ndarray], np.ndarray] = sfs_skyline,
+        cache_results: bool = True,
+    ):
+        """``region_computer`` defaults to the 1-NN aMPR, the paper's default
+        for interactive workloads; pass :class:`~repro.core.ampr.ExactMPR`
+        for minimal reads."""
+        self.table = table
+        # explicit None checks: an empty SkylineCache is falsy (len 0)
+        self.cache = cache if cache is not None else SkylineCache()
+        self.strategy = strategy if strategy is not None else MaxOverlapSP()
+        self.region = (
+            region_computer if region_computer is not None else ApproximateMPR(k=1)
+        )
+        self.skyline_algorithm = skyline_algorithm
+        self.cache_results = cache_results
+
+    @property
+    def name(self) -> str:
+        return f"CBCS[{self.region.name}]"
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def query(self, constraints: Constraints) -> QueryOutcome:
+        """Answer one constrained skyline query, reusing the cache."""
+        if constraints.ndim != self.table.ndim:
+            raise ValueError("constraints dimensionality does not match the table")
+        watch = Stopwatch()
+        io_before = self.table.stats.snapshot()
+
+        with watch.stage("processing"):
+            candidates = self.cache.candidates(constraints)
+            item = (
+                self.strategy.select(constraints, candidates) if candidates else None
+            )
+
+        if item is None:
+            return self._query_miss(constraints, watch, io_before)
+
+        with watch.stage("processing"):
+            case = classify_change(item.constraints, constraints)
+            if case == CASE_EXACT:
+                self.cache.touch(item)
+                outcome = QueryOutcome(
+                    skyline=item.skyline.copy(),
+                    method=self.name,
+                    timings=watch.timings,
+                    case=CASE_EXACT,
+                    stable=True,
+                    cache_hit=True,
+                )
+                return outcome
+            mpr = self._compute_region(item, candidates, constraints)
+
+        with watch.stage("fetch_wall"):
+            fetched = self.table.fetch_boxes(mpr.boxes)
+
+        with watch.stage("skyline"):
+            if len(fetched) == 0:
+                # Nothing new: the surviving cached points are already a
+                # skyline among themselves (Definition 1), and by Theorem 6
+                # they are complete -- e.g. case b's "just filter" shortcut.
+                skyline = mpr.surviving
+            else:
+                pool = (
+                    np.vstack([mpr.surviving, fetched.points])
+                    if len(mpr.surviving)
+                    else fetched.points
+                )
+                skyline = pool[self.skyline_algorithm(pool)]
+
+        self.cache.touch(item)
+        if self.cache_results:
+            self.cache.insert(constraints, skyline)
+        io = self.table.stats.delta_since(io_before)
+        watch.timings.fetch_io_ms = io.simulated_io_ms
+        return QueryOutcome(
+            skyline=skyline,
+            method=self.name,
+            timings=watch.timings,
+            io=io,
+            case=case,
+            stable=mpr.stable,
+            cache_hit=True,
+        )
+
+    def explain(self, constraints: Constraints) -> QueryPlan:
+        """Describe how a query would be answered, without executing it.
+
+        Performs the cache search, strategy selection and region computation
+        but issues no disk fetches and leaves the cache untouched (no use
+        counters, no insertion) -- safe to call repeatedly.
+        """
+        if constraints.ndim != self.table.ndim:
+            raise ValueError("constraints dimensionality does not match the table")
+        hits_before, misses_before = self.cache.hits, self.cache.misses
+        candidates = self.cache.candidates(constraints)
+        self.cache.hits, self.cache.misses = hits_before, misses_before
+
+        if not candidates:
+            region = constraints.region()
+            return QueryPlan(
+                case=CASE_MISS,
+                cache_hit=False,
+                stable=None,
+                candidates=0,
+                item_id=None,
+                reusable_points=0,
+                range_queries=1,
+                estimated_points=self._estimate_box(region),
+                boxes=[region],
+            )
+        item = self.strategy.select(constraints, candidates)
+        case = classify_change(item.constraints, constraints)
+        if case == CASE_EXACT:
+            return QueryPlan(
+                case=CASE_EXACT,
+                cache_hit=True,
+                stable=True,
+                candidates=len(candidates),
+                item_id=item.item_id,
+                reusable_points=item.skyline_size,
+                range_queries=0,
+                estimated_points=0,
+            )
+        mpr = self._compute_region(item, candidates, constraints)
+        return QueryPlan(
+            case=case,
+            cache_hit=True,
+            stable=mpr.stable,
+            candidates=len(candidates),
+            item_id=item.item_id,
+            reusable_points=len(mpr.surviving),
+            range_queries=len(mpr.boxes),
+            estimated_points=sum(self._estimate_box(b) for b in mpr.boxes),
+            boxes=list(mpr.boxes),
+        )
+
+    def _estimate_box(self, box) -> int:
+        """Most-selective-dimension estimate of a box's row count."""
+        return min(
+            self.table.estimate_count(i, iv.lo, iv.hi)
+            for i, iv in enumerate(box.intervals)
+        )
+
+    def _compute_region(self, item, candidates, constraints):
+        """Compute the missing-points region for the chosen item.
+
+        Region computers exposing ``compute_multi`` (the Section 6.3
+        multi-item extension, :class:`repro.core.multi.MultiItemMPR`)
+        receive the strategy's pick first plus the remaining candidates
+        ranked by overlap volume; single-item computers get the pick alone.
+        """
+        if hasattr(self.region, "compute_multi") and len(candidates) > 1:
+            others = sorted(
+                (c for c in candidates if c is not item),
+                key=lambda c: c.constraints.overlap_volume(constraints),
+                reverse=True,
+            )
+            ranked = [(item.constraints, item.skyline)] + [
+                (c.constraints, c.skyline) for c in others
+            ]
+            return self.region.compute_multi(ranked, constraints)
+        return self.region.compute(item.constraints, item.skyline, constraints)
+
+    # ------------------------------------------------------------------
+    # Cache management helpers
+    # ------------------------------------------------------------------
+    def warm(self, queries) -> int:
+        """Preload the cache by answering ``queries``; returns #items cached.
+
+        Used for the paper's independent-query workload, which "assumes a
+        preloaded cache with 2000 queries" (Section 7.1).
+        """
+        for constraints in queries:
+            self.query(constraints)
+        return len(self.cache)
+
+    def _query_miss(
+        self, constraints: Constraints, watch: Stopwatch, io_before
+    ) -> QueryOutcome:
+        """Cache miss: compute naively (range query + skyline algorithm)."""
+        with watch.stage("fetch_wall"):
+            result = self.table.range_query(constraints.region())
+        with watch.stage("skyline"):
+            skyline = result.points[self.skyline_algorithm(result.points)]
+        if self.cache_results:
+            self.cache.insert(constraints, skyline)
+        io = self.table.stats.delta_since(io_before)
+        watch.timings.fetch_io_ms = io.simulated_io_ms
+        return QueryOutcome(
+            skyline=skyline,
+            method=self.name,
+            timings=watch.timings,
+            io=io,
+            case=CASE_MISS,
+            stable=None,
+            cache_hit=False,
+        )

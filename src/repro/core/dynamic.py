@@ -1,0 +1,107 @@
+"""Dynamic data support (paper Section 6.2).
+
+"Dynamic data can be supported by viewing each cache item as a separate
+dataset with a continuous skyline query maintained by any existing method."
+The paper defers the evaluation; this module implements the mechanism:
+
+- **insert**: a new point inside an item's constraint region either is
+  dominated by the cached skyline (nothing changes) or enters the skyline,
+  evicting the cached points it dominates.  This is exact: points that the
+  evicted members used to dominate are, by transitivity, dominated by the
+  new point too.
+- **delete**: a deleted point that coordinate-matches a cached skyline row
+  loses one occurrence; since its dominance may have suppressed other
+  points, the item is either *refreshed* (recomputed with one range query
+  against the table -- the simplest "existing method") or *evicted*,
+  according to ``on_delete``.  Deleted points that were not in the cached
+  skyline were dominated and change nothing.
+
+:class:`DynamicCBCS` wires the maintenance into the engine so that queries
+interleaved with updates stay exact -- verified against brute force in
+``tests/core/test_dynamic.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.core.cbcs import CBCS
+from repro.geometry.dominance import dominated_mask
+from repro.skyline.sfs import sfs_skyline
+
+DeletePolicy = Literal["refresh", "evict"]
+
+
+class DynamicCBCS(CBCS):
+    """A CBCS engine whose table may change between queries.
+
+    ``on_delete`` selects the maintenance of items that lose a skyline
+    point: ``"refresh"`` recomputes the item from the table (keeps the cache
+    warm at the cost of one range query), ``"evict"`` simply drops it.
+    """
+
+    def __init__(self, *args, on_delete: DeletePolicy = "refresh", **kwargs):
+        super().__init__(*args, **kwargs)
+        if on_delete not in ("refresh", "evict"):
+            raise ValueError(f"unknown delete policy {on_delete!r}")
+        self.on_delete: DeletePolicy = on_delete
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert_points(self, rows: np.ndarray) -> np.ndarray:
+        """Append rows to the table and maintain every affected cache item."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        new_ids = self.table.append(rows)
+        for row in rows:
+            self._maintain_insert(row)
+        return new_ids
+
+    def delete_points(self, rowids) -> int:
+        """Delete table rows and maintain every affected cache item."""
+        rowids = np.atleast_1d(np.asarray(rowids, dtype=np.int64))
+        coords = [self.table.row(int(r)) for r in rowids]
+        killed = self.table.delete(rowids)
+        for row in coords:
+            self._maintain_delete(np.asarray(row))
+        return killed
+
+    # ------------------------------------------------------------------
+    # Per-item continuous skyline maintenance
+    # ------------------------------------------------------------------
+    def _maintain_insert(self, row: np.ndarray) -> None:
+        for item in list(self.cache):
+            if not item.constraints.satisfies(row):
+                continue
+            sky = item.skyline
+            if dominated_mask(row.reshape(1, -1), sky)[0]:
+                continue  # dominated within the item: skyline unchanged
+            keep = ~dominated_mask(sky, row.reshape(1, -1))
+            new_sky = np.vstack([sky[keep], row.reshape(1, -1)])
+            self._replace_item(item, new_sky)
+
+    def _maintain_delete(self, row: np.ndarray) -> None:
+        for item in list(self.cache):
+            if not item.constraints.satisfies(row):
+                continue
+            matches = np.flatnonzero(np.all(item.skyline == row, axis=1))
+            if len(matches) == 0:
+                continue  # dominated point: its absence changes nothing
+            if self.on_delete == "evict":
+                self._evict_item(item)
+                continue
+            # refresh: one range query re-derives the item's skyline
+            result = self.table.range_query(item.constraints.region())
+            new_sky = result.points[sfs_skyline(result.points)]
+            if len(new_sky):
+                self._replace_item(item, new_sky)
+            else:
+                self._evict_item(item)
+
+    def _replace_item(self, item, new_skyline: np.ndarray) -> None:
+        self.cache.replace_skyline(item, new_skyline)
+
+    def _evict_item(self, item) -> None:
+        self.cache.remove(item)

@@ -1,0 +1,257 @@
+"""The Missing Points Region (paper Section 5, Definition 5, Algorithm 1).
+
+Given a cached item ``(Sky(S,C), MBR, C)`` and new constraints ``C'``, the
+MPR is the minimal region whose points' skyline membership cannot be decided
+from the cache alone.  It consists of:
+
+1. the part of ``R_C'`` outside the old region (new territory -- nothing
+   cached applies there),
+2. in unstable cases, the *invalidated* part of the overlap: regions that a
+   now-expelled cached skyline point used to dominate (those suppressed
+   points can re-enter the skyline, Corollary 2),
+
+minus the dominance regions ``DR(u, C')`` of the cached skyline points that
+survive the new constraints -- wherever a surviving point still dominates,
+nothing new can appear (Theorem 6: completeness; Theorem 7: minimality).
+
+The computation is pure hyper-rectangle algebra: start from ``R_C'``, split
+along the old constraint planes, and repeatedly subtract closed corner
+regions.  The result is a set of *disjoint* axis-orthogonal boxes that can be
+issued directly as range queries -- the form the paper's Algorithm 1
+produces.  The piece count is O(|H| * |Sky| * |D|)-bounded work and grows
+steeply with dimensionality (paper Figure 4/9), which is what the
+approximate MPR (:mod:`repro.core.ampr`) trades against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.stability import guaranteed_stable
+from repro.geometry.box import Box, merge_aligned_boxes, union_mask
+from repro.geometry.constraints import Constraints
+
+__all__ = ["MPRResult", "compute_mpr"]
+
+
+@dataclass
+class MPRResult:
+    """The decomposed missing-points region of one cache-vs-query pair.
+
+    - ``boxes``: disjoint range queries covering the MPR;
+    - ``surviving``: cached skyline points satisfying the new constraints
+      (they are merged with the fetched points, Theorem 6);
+    - ``stable``: whether the cached skyline was stable for this query
+      (operationally -- syntactic stability or no expelled points);
+    - ``invalidated_boxes``: the subset of ``boxes`` that came from cache
+      invalidation rather than new territory (diagnostics; already included
+      in ``boxes``).
+    """
+
+    boxes: List[Box]
+    surviving: np.ndarray
+    stable: bool
+    invalidated_boxes: List[Box] = field(default_factory=list)
+
+    @property
+    def n_range_queries(self) -> int:
+        return len(self.boxes)
+
+
+def compute_mpr(
+    old: Constraints,
+    skyline: np.ndarray,
+    new: Constraints,
+    prune_with: Optional[np.ndarray] = None,
+    max_invalidation_pieces: Optional[int] = None,
+    max_invalidation_anchors: Optional[int] = None,
+    merge_boxes: bool = False,
+) -> MPRResult:
+    """Compute the (possibly approximate) MPR of a cached item for ``new``.
+
+    ``prune_with`` selects which cached skyline points' dominance regions
+    are subtracted in the final step: ``None`` uses every *surviving* point
+    (the exact MPR of Definition 5); a subset of the surviving points yields
+    a conservative superset of the MPR (this is how
+    :class:`~repro.core.ampr.ApproximateMPR` plugs in -- fewer, larger
+    boxes, no false negatives).
+
+    ``max_invalidation_pieces`` bounds the piece count of the unstable-case
+    invalidation decomposition.  The exact union of expelled dominance
+    regions is a staircase whose tiling can explode combinatorially when
+    many skyline points are expelled at once (the effect behind the paper's
+    "cache invalidation yields a prohibitive amount of range queries for
+    MPR", Section 7.2).  When the budget is exceeded, the union is covered
+    conservatively by a single corner region anchored at the componentwise
+    minimum of the expelled points -- a superset, so completeness is
+    untouched; only extra points are read.  ``None`` keeps the exact
+    decomposition (the faithful Algorithm 1 behaviour).
+
+    ``max_invalidation_anchors`` coarsens the expelled-point set *before*
+    tiling: the points are chunked into at most that many groups and each
+    group replaced by its componentwise minimum, whose corner region covers
+    the whole group -- again a conservative superset, but with a bounded and
+    typically tiny tiling.  ``merge_boxes`` fuses abutting result boxes into
+    larger ones (identical point set, fewer range queries); both are the
+    aMPR's "fewer, larger, disjoint range queries" trade-off applied to the
+    unstable case.
+
+    When the returned boxes cover some surviving cached skyline points
+    (possible only under the conservative approximations above), those
+    points are dropped from ``surviving``: they will be re-fetched from disk
+    along with any exact duplicates, keeping the merged pool an exact
+    multiset.
+    """
+    if old.ndim != new.ndim:
+        raise ValueError("constraint dimensionality mismatch")
+    skyline = np.asarray(skyline, dtype=float)
+    if skyline.ndim != 2 or skyline.shape[1] != old.ndim:
+        raise ValueError("skyline must be a (k, d) array matching the constraints")
+
+    surviving_mask = (
+        new.satisfied_mask(skyline) if len(skyline) else np.zeros(0, dtype=bool)
+    )
+    surviving = skyline[surviving_mask]
+    removed = skyline[~surviving_mask]
+
+    if not old.overlaps(new):
+        # Disjoint regions: the cache tells us nothing; the MPR is all of
+        # R_C' (still "stable" per Theorem 1 -- nothing cached is reusable
+        # or invalidated).
+        return MPRResult(boxes=[new.region()], surviving=surviving, stable=True)
+
+    # Step 1 -- new territory: R_C' minus the overlap with the old region.
+    pieces = new.region().subtract_box(old.region())
+
+    # Step 2 -- invalidation (unstable case): parts of the overlap dominated
+    # by expelled skyline points.  Syntactically stable items cannot have
+    # expelled dominators below the overlap, and items with nothing expelled
+    # have nothing to invalidate.
+    stable = guaranteed_stable(old, new) or len(removed) == 0
+    invalid: List[Box] = []
+    if not stable:
+        overlap = new.region().intersect(old.region())
+        anchors = removed
+        if (
+            max_invalidation_anchors is not None
+            and len(anchors) > max_invalidation_anchors
+        ):
+            anchors = _coarsen_dominators(anchors, max_invalidation_anchors)
+        invalid = _invalidated_regions(overlap, anchors, max_invalidation_pieces)
+
+    # Step 3 -- subtract the dominance regions of (a subset of) the
+    # surviving cached skyline points.
+    pruners = surviving if prune_with is None else np.asarray(prune_with, dtype=float)
+    pieces = _subtract_corners(pieces, pruners)
+    invalid = _subtract_corners(invalid, pruners)
+
+    boxes = pieces + invalid
+    if merge_boxes and len(boxes) > 1:
+        boxes = merge_aligned_boxes(boxes)
+    if len(surviving) and boxes:
+        # Conservative boxes may cover surviving points; drop those from the
+        # reuse set -- they (and their duplicates) arrive via the fetch.
+        surviving = surviving[~union_mask(boxes, surviving)]
+
+    return MPRResult(
+        boxes=boxes,
+        surviving=surviving,
+        stable=stable,
+        invalidated_boxes=invalid,
+    )
+
+
+def _invalidated_regions(
+    overlap: Box, removed: np.ndarray, budget: Optional[int]
+) -> List[Box]:
+    """Disjoint boxes covering ``overlap`` intersected with the union of the
+    expelled points' dominance regions (conservatively, under a budget).
+
+    Fallback ladder when the exact staircase tiling exceeds the budget:
+
+    1. *coarsen*: chunk the expelled points (in lexicographic order) into a
+       bounded number of groups and replace each group by its componentwise
+       minimum -- a virtual dominator whose corner region covers the whole
+       group, so the union can only grow (conservative) while the tiling
+       stays small;
+    2. *collapse*: a single corner region at the componentwise minimum of
+       every expelled point.
+    """
+    if overlap.is_empty() or len(removed) == 0:
+        return []
+    anchors = removed
+    for attempt in range(3):
+        result = _corner_union_tiling(overlap, anchors, budget)
+        if result is not None:
+            return result
+        if attempt == 0:
+            anchors = _coarsen_dominators(removed, groups=24)
+        else:
+            anchors = removed.min(axis=0).reshape(1, -1)
+    # The single-anchor tiling is one intersection; it cannot exceed any
+    # positive budget, but guard anyway.
+    hit = overlap.intersect(Box.corner_at_least(removed.min(axis=0)))
+    return [] if hit.is_empty() else [hit]
+
+
+def _corner_union_tiling(
+    overlap: Box, anchors: np.ndarray, budget: Optional[int]
+) -> Optional[List[Box]]:
+    """Tile ``overlap`` intersected with the union of the anchors' corner
+    regions into disjoint boxes; None if the piece count exceeds ``budget``."""
+    invalid: List[Box] = []
+    remaining = [overlap]
+    for t in anchors:
+        if budget is not None and len(remaining) + len(invalid) > budget:
+            return None
+        corner = Box.corner_at_least(t)
+        next_remaining: List[Box] = []
+        for piece in remaining:
+            hit = piece.intersect(corner)
+            if not hit.is_empty():
+                invalid.append(hit)
+            next_remaining.extend(piece.subtract_corner(t))
+        remaining = next_remaining
+        if not remaining:
+            break
+    return invalid
+
+
+def _coarsen_dominators(points: np.ndarray, groups: int) -> np.ndarray:
+    """Cover a point set by at most ``groups`` componentwise-minimum anchors.
+
+    Points are chunked in lexicographic order (neighbouring skyline points
+    sit close along the staircase, so per-chunk minima stay tight)."""
+    if len(points) <= groups:
+        return points
+    order = np.lexsort(points.T[::-1])
+    chunks = np.array_split(points[order], groups)
+    return np.array([chunk.min(axis=0) for chunk in chunks])
+
+
+def _subtract_corners(boxes: List[Box], points: np.ndarray) -> List[Box]:
+    """Subtract the closed corner region of every point from every box.
+
+    Points are processed in ascending coordinate-sum order: points nearer
+    the origin have larger dominance regions, so processing them first
+    shrinks the piece set early (the same intuition the paper borrows from
+    sort-based skyline algorithms for the aMPR).
+    """
+    pieces = [b for b in boxes if not b.is_empty()]
+    if not pieces or len(points) == 0:
+        return pieces
+    for u in points[np.argsort(points.sum(axis=1), kind="stable")]:
+        corner = Box.corner_at_least(u)
+        next_pieces: List[Box] = []
+        for piece in pieces:
+            if piece.overlaps(corner):
+                next_pieces.extend(piece.subtract_corner(u))
+            else:
+                next_pieces.append(piece)
+        pieces = next_pieces
+        if not pieces:
+            break
+    return pieces

@@ -1,0 +1,170 @@
+"""Multi-item cache exploitation (the paper's Section 6.3 future work).
+
+The paper processes each query against a *single* cached item and leaves
+combining several overlapping items as future work, noting the challenges:
+more range queries, more complicated strategies, and more overlap cases.
+This module implements that extension conservatively.
+
+Soundness argument.  For each used item ``(Sky(S,C_i), C_i)``, define its
+*safe region* as the overlap ``R_Ci  intersect  R_C'`` minus the item's
+invalidated regions (parts dominated under ``C_i`` by skyline points that
+``C'`` expels).  Inside a safe region, every non-cached point is dominated
+by a *surviving* point of ``Sky(S,C_i)`` (an expelled dominator would make
+the region invalidated), so nothing there can enter ``Sky(S,C')`` as long
+as all surviving points are merged into the final pool.  The multi-item MPR
+is therefore ``R_C'`` minus the union of all safe regions, further pruned
+by the dominance regions of the pooled surviving points -- strictly smaller
+than (or equal to) any single item's MPR.
+
+Surviving points cached by several items are the same data rows; the pool
+keeps, per exact coordinate vector, the *maximum* multiplicity seen in any
+one item (a single item always caches all exact duplicates together, so the
+maximum is the true multiplicity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.ampr import nearest_to_corner
+from repro.core.mpr import (
+    MPRResult,
+    _coarsen_dominators,
+    _invalidated_regions,
+    _subtract_corners,
+)
+from repro.core.stability import guaranteed_stable
+from repro.geometry.box import Box, merge_aligned_boxes, union_mask
+from repro.geometry.constraints import Constraints
+from repro.skyline.sfs import sfs_skyline
+
+
+class MultiItemMPR:
+    """Region computer that combines up to ``max_items`` cached items.
+
+    Single-item behaviour (``max_items=1``) reduces to the aMPR with the
+    same ``k``.  Piece growth is bounded by ``max_pieces``: items are folded
+    in one at a time (best overlap first via the engine's strategy ranking)
+    and folding stops once the tiling budget is reached -- later items are
+    simply not exploited, never unsoundly so.
+    """
+
+    def __init__(
+        self,
+        k: int = 1,
+        max_items: int = 3,
+        max_pieces: int = 256,
+        invalidation_anchors: int = 8,
+        merge_boxes: bool = True,
+    ):
+        if k < 1 or max_items < 1 or max_pieces < 1:
+            raise ValueError("k, max_items and max_pieces must be positive")
+        self.k = k
+        self.max_items = max_items
+        self.max_pieces = max_pieces
+        self.invalidation_anchors = invalidation_anchors
+        self.merge_boxes = merge_boxes
+
+    @property
+    def name(self) -> str:
+        return f"multiMPR({self.max_items}x{self.k}NN)"
+
+    def compute(
+        self, old: Constraints, skyline: np.ndarray, new: Constraints
+    ) -> MPRResult:
+        """Single-item interface (used when only one candidate exists)."""
+        return self.compute_multi([(old, skyline)], new)
+
+    def compute_multi(
+        self,
+        items: Sequence[Tuple[Constraints, np.ndarray]],
+        new: Constraints,
+    ) -> MPRResult:
+        """Compute the MPR of ``new`` against up to ``max_items`` items."""
+        if not items:
+            raise ValueError("compute_multi requires at least one cache item")
+        pieces: List[Box] = [new.region()]
+        pool_counts: Dict[tuple, int] = {}
+        stable = True
+
+        for old, skyline in items[: self.max_items]:
+            skyline = np.asarray(skyline, dtype=float)
+            overlap = old.region().intersect(new.region())
+            if overlap.is_empty():
+                continue
+            surviving_mask = (
+                new.satisfied_mask(skyline)
+                if len(skyline)
+                else np.zeros(0, dtype=bool)
+            )
+            surviving = skyline[surviving_mask]
+            removed = skyline[~surviving_mask]
+            item_stable = guaranteed_stable(old, new) or len(removed) == 0
+            stable = stable and item_stable
+
+            if len(pieces) <= self.max_pieces:
+                safe = self._safe_regions(overlap, removed, item_stable)
+                for safe_box in safe:
+                    if len(pieces) > self.max_pieces:
+                        break
+                    pieces = [
+                        part
+                        for piece in pieces
+                        for part in piece.subtract_box(safe_box)
+                    ]
+            _merge_pool(pool_counts, surviving)
+
+        pool = _materialize_pool(pool_counts, new.ndim)
+        if len(pool):
+            # Unlike a single item's surviving set, the merged pool is not an
+            # antichain (one item's point may dominate another's); reduce it
+            # to its own skyline so downstream shortcuts stay valid.
+            pool = pool[sfs_skyline(pool)]
+        pruners = nearest_to_corner(pool, new.lo, self.k) if len(pool) else pool
+        pieces = _subtract_corners(pieces, pruners)
+        if self.merge_boxes and len(pieces) > 1:
+            pieces = merge_aligned_boxes(pieces)
+        if len(pool) and pieces:
+            pool = pool[~union_mask(pieces, pool)]
+        return MPRResult(boxes=pieces, surviving=pool, stable=stable)
+
+    def _safe_regions(
+        self, overlap: Box, removed: np.ndarray, item_stable: bool
+    ) -> List[Box]:
+        """Disjoint boxes of the item's overlap where the cache is reliable."""
+        if item_stable:
+            return [overlap]
+        anchors = removed
+        if len(anchors) > self.invalidation_anchors:
+            anchors = _coarsen_dominators(anchors, self.invalidation_anchors)
+        invalid = _invalidated_regions(overlap, anchors, self.max_pieces)
+        safe = [overlap]
+        for bad in invalid:
+            safe = [part for piece in safe for part in piece.subtract_box(bad)]
+            if len(safe) > self.max_pieces:
+                # Give up on this item's unstable overlap entirely: treating
+                # none of it as safe is conservative.
+                return []
+        return safe
+
+
+def _merge_pool(pool_counts: Dict[tuple, int], surviving: np.ndarray) -> None:
+    """Fold one item's surviving points into the pool at max multiplicity."""
+    item_counts: Dict[tuple, int] = {}
+    for row in surviving:
+        key = tuple(row)
+        item_counts[key] = item_counts.get(key, 0) + 1
+    for key, count in item_counts.items():
+        if count > pool_counts.get(key, 0):
+            pool_counts[key] = count
+
+
+def _materialize_pool(pool_counts: Dict[tuple, int], ndim: int) -> np.ndarray:
+    if not pool_counts:
+        return np.empty((0, ndim))
+    rows = []
+    for key, count in pool_counts.items():
+        rows.extend([key] * count)
+    return np.array(rows, dtype=float)

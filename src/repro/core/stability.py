@@ -1,0 +1,58 @@
+"""Constrained-skyline stability (paper Section 4.1).
+
+``Sky(S, C)`` is *stable* relative to new constraints ``C'`` when every
+point of ``S_C`` that is not in ``Sky(S, C)`` is also guaranteed not to be
+in ``Sky(S, C')`` (Definition 4).  Stability is what lets the cache skip
+re-examining the overlap region: only genuinely new territory needs
+fetching (Corollary 1).
+
+Theorem 1 gives the syntactic guarantee: stability holds iff no lower
+constraint increased (``C'_lo <= C_lo`` in every dimension) or the regions
+are disjoint.  Increasing a lower constraint may expel a cached skyline
+point whose dominance used to suppress other points -- those suppressed
+points can resurface (Corollary 2), which is the *unstable* case handled by
+the invalidation step of the MPR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.constraints import Constraints
+
+
+def guaranteed_stable(old: Constraints, new: Constraints) -> bool:
+    """Theorem 1: syntactic stability of ``Sky(S, old)`` relative to ``new``.
+
+    True iff every new lower constraint is at or below the old one, or the
+    two constraint regions are disjoint.
+    """
+    if old.ndim != new.ndim:
+        raise ValueError("constraint dimensionality mismatch")
+    if bool(np.all(new.lo <= old.lo)):
+        return True
+    return not old.overlaps(new)
+
+
+def removed_mask(skyline: np.ndarray, new: Constraints) -> np.ndarray:
+    """Return the mask of cached skyline points expelled by ``new``.
+
+    These are the points whose departure can invalidate cached knowledge
+    (Corollary 2's witnesses ``t``)."""
+    skyline = np.asarray(skyline, dtype=float)
+    if len(skyline) == 0:
+        return np.zeros(0, dtype=bool)
+    return ~new.satisfied_mask(skyline)
+
+
+def is_stable_for(old: Constraints, new: Constraints, skyline: np.ndarray) -> bool:
+    """Operational stability of a concrete cached item.
+
+    Stronger than Theorem 1: even when the syntactic guarantee fails, the
+    cached result is de-facto stable if no cached skyline point actually
+    falls outside the new constraints -- then no dominance influence was
+    lost and Corollary 2's instability witness cannot exist.
+    """
+    if guaranteed_stable(old, new):
+        return True
+    return not bool(removed_mask(skyline, new).any())

@@ -1,0 +1,247 @@
+"""Cache search strategies (paper Section 6.1).
+
+When several cached items overlap a query, a strategy picks the one expected
+to be cheapest to complete.  All seven strategies from the paper are
+implemented; each takes the query constraints and the candidate items and
+returns one item.
+
+- **Random** -- uniform choice (the control).
+- **MaxOverlap** -- largest overlap volume between the item's constraint
+  region and the query region (high overlap means a small MPR).
+- **MaxOverlapSP** -- like MaxOverlap but stable items are always preferred
+  over unstable ones, "even if there is an unstable option with a higher
+  degree of overlap".
+- **Prioritized1D** -- prefers simple single-bound cases in the paper's
+  experimentally chosen order: case b, case c, case a, general stable,
+  case d, general unstable; ties broken by overlap.
+- **PrioritizedND(c1, c2, c3, c4)** -- scores each changed bound by its case
+  penalty and sums, "penalizing cache items for each dimension where
+  constraints differ"; lowest total wins, ties broken by overlap.  The
+  paper's tuned variant is (10, 0, 5, 20) ("Std") and the deliberately bad
+  one (10, 50, 30, 0) ("Bad").
+- **OptimumDistance** -- smallest distance between the item's and the
+  query's lower constraint corner, "to give priority to likely dominating
+  regions".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.core.cache import CacheItem
+from repro.core.cases import (
+    CASE_A,
+    CASE_B,
+    CASE_C,
+    CASE_D,
+    CASE_EXACT,
+    GENERAL_STABLE,
+    GENERAL_UNSTABLE,
+    classify_change,
+    classify_dimension_changes,
+)
+from repro.core.stability import guaranteed_stable
+from repro.geometry.constraints import Constraints
+
+Rng = Union[int, np.random.Generator, None]
+
+
+class CacheSearchStrategy:
+    """Base class: rank candidate items, return the best."""
+
+    name = "abstract"
+
+    def select(self, query: Constraints, items: Sequence[CacheItem]) -> CacheItem:
+        """Return the preferred cache item for ``query``."""
+        if not items:
+            raise ValueError("select() requires at least one candidate item")
+        return max(items, key=lambda item: self._score(query, item))
+
+    def _score(self, query: Constraints, item: CacheItem):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class RandomStrategy(CacheSearchStrategy):
+    """Uniformly random choice among the overlapping items."""
+
+    name = "Random"
+
+    def __init__(self, seed: Rng = None):
+        self._rng = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+
+    def select(self, query: Constraints, items: Sequence[CacheItem]) -> CacheItem:
+        if not items:
+            raise ValueError("select() requires at least one candidate item")
+        return items[int(self._rng.integers(len(items)))]
+
+
+class MaxOverlap(CacheSearchStrategy):
+    """Largest constraint-region overlap volume with the query."""
+
+    name = "MaxOverlap"
+
+    def _score(self, query: Constraints, item: CacheItem):
+        return item.constraints.overlap_volume(query)
+
+
+class MaxOverlapSP(CacheSearchStrategy):
+    """Stability-preferring MaxOverlap: any stable item beats any unstable
+    one; overlap volume breaks ties within each group."""
+
+    name = "MaxOverlapSP"
+
+    def _score(self, query: Constraints, item: CacheItem):
+        stable = guaranteed_stable(item.constraints, query)
+        return (1 if stable else 0, item.constraints.overlap_volume(query))
+
+
+class Prioritized1D(CacheSearchStrategy):
+    """Case-priority ranking for single-bound changes (Section 6.1).
+
+    Priority order (best first): case b, case c, case a, general stable,
+    case d, general unstable.  Exact matches outrank everything; ties are
+    settled by MaxOverlap.
+    """
+
+    name = "Prioritized1D"
+
+    _PRIORITY: Dict[str, int] = {
+        CASE_EXACT: 7,
+        CASE_B: 6,
+        CASE_C: 5,
+        CASE_A: 4,
+        GENERAL_STABLE: 3,
+        CASE_D: 2,
+        GENERAL_UNSTABLE: 1,
+    }
+
+    def _score(self, query: Constraints, item: CacheItem):
+        case = classify_change(item.constraints, query)
+        return (
+            self._PRIORITY.get(case, 0),
+            item.constraints.overlap_volume(query),
+        )
+
+
+class PrioritizedND(CacheSearchStrategy):
+    """Per-bound case scoring summed over every differing dimension.
+
+    Each changed bound of each dimension is classified as one of the four
+    incremental cases and charged that case's penalty; the item with the
+    lowest total is selected (ties: larger overlap).  ``PrioritizedND.std()``
+    and ``PrioritizedND.bad()`` build the paper's two evaluated variants.
+    """
+
+    name = "PrioritizedND"
+
+    def __init__(self, c1: float, c2: float, c3: float, c4: float):
+        self.penalties: Dict[str, float] = {
+            CASE_A: float(c1),
+            CASE_B: float(c2),
+            CASE_C: float(c3),
+            CASE_D: float(c4),
+        }
+        self.name = f"PrioritizedND({c1:g},{c2:g},{c3:g},{c4:g})"
+
+    @classmethod
+    def std(cls) -> "PrioritizedND":
+        """The paper's well-performing variant, PrioritizednD (Std)."""
+        return cls(10, 0, 5, 20)
+
+    @classmethod
+    def bad(cls) -> "PrioritizedND":
+        """The paper's deliberately mis-weighted variant, PrioritizednD (Bad)."""
+        return cls(10, 50, 30, 0)
+
+    def _score(self, query: Constraints, item: CacheItem):
+        labels = classify_dimension_changes(item.constraints, query)
+        penalty = sum(self.penalties[label] for label in labels)
+        return (-penalty, item.constraints.overlap_volume(query))
+
+
+class OptimumDistance(CacheSearchStrategy):
+    """Smallest L2 distance between lower constraint corners."""
+
+    name = "OptimumDistance"
+
+    def _score(self, query: Constraints, item: CacheItem):
+        dist = float(np.linalg.norm(item.constraints.lo - query.lo))
+        return -dist
+
+
+class CostBased(CacheSearchStrategy):
+    """EXTENSION (not in the paper): pick by *estimated execution cost*.
+
+    The paper's strategies rank items by proxies (overlap volume, stability,
+    per-bound case penalties).  This strategy evaluates the real plan: it
+    runs the region computer for each of the most-overlapping candidates
+    and costs the resulting decomposition with the table's selectivity
+    estimates and disk constants -- one seek per non-trivial box plus the
+    transfer cost of its estimated rows -- then picks the cheapest.
+
+    Selection itself becomes more expensive (one region computation per
+    evaluated candidate), so ``max_candidates`` bounds the evaluation to
+    the most-overlapping few; the paper anticipates exactly this tension
+    when it notes that smarter cache search "would become more complicated"
+    (Section 6.3).
+    """
+
+    name = "CostBased"
+
+    def __init__(self, table, region, max_candidates: int = 4):
+        if max_candidates < 1:
+            raise ValueError("max_candidates must be positive")
+        self.table = table
+        self.region = region
+        self.max_candidates = max_candidates
+
+    def select(self, query: Constraints, items: Sequence[CacheItem]) -> CacheItem:
+        if not items:
+            raise ValueError("select() requires at least one candidate item")
+        shortlist = sorted(
+            items,
+            key=lambda it: it.constraints.overlap_volume(query),
+            reverse=True,
+        )[: self.max_candidates]
+        best, best_cost = shortlist[0], float("inf")
+        for item in shortlist:
+            cost = self._estimated_cost(query, item)
+            if cost < best_cost:
+                best, best_cost = item, cost
+        return best
+
+    def _estimated_cost(self, query: Constraints, item: CacheItem) -> float:
+        mpr = self.region.compute(item.constraints, item.skyline, query)
+        model = self.table.cost_model
+        per_point_ms = model.page_read_ms / model.page_size
+        cost = 0.0
+        for box in mpr.boxes:
+            rows = min(
+                self.table.estimate_count(i, iv.lo, iv.hi)
+                for i, iv in enumerate(box.intervals)
+            )
+            if rows:
+                cost += model.seek_ms + rows * per_point_ms
+        return cost
+
+
+def default_strategy_suite(seed: Rng = 0) -> List[CacheSearchStrategy]:
+    """Return all strategies the paper compares in Figure 11."""
+    return [
+        RandomStrategy(seed=seed),
+        MaxOverlap(),
+        MaxOverlapSP(),
+        Prioritized1D(),
+        PrioritizedND.std(),
+        PrioritizedND.bad(),
+        OptimumDistance(),
+    ]

@@ -1,0 +1,25 @@
+"""Dataset generation.
+
+- :mod:`repro.data.generator` -- the three synthetic distributions of
+  Börzsönyi et al. [3] used throughout the paper's evaluation: independent,
+  correlated and anti-correlated.
+- :mod:`repro.data.realestate` -- a synthetic substitute for the paper's
+  proprietary Danish property dataset (Section 7.5); see the module
+  docstring and DESIGN.md for the substitution rationale.
+"""
+
+from repro.data.generator import (
+    anticorrelated,
+    correlated,
+    generate,
+    independent,
+)
+from repro.data.realestate import danish_real_estate
+
+__all__ = [
+    "anticorrelated",
+    "correlated",
+    "danish_real_estate",
+    "generate",
+    "independent",
+]

@@ -1,0 +1,41 @@
+"""Geometric primitives for constrained skyline processing.
+
+This subpackage provides the low-level spatial algebra that the paper's
+Missing Points Region (MPR) machinery is built on:
+
+- :class:`~repro.geometry.interval.Interval` -- a 1-D interval with
+  independently open/closed endpoints.
+- :class:`~repro.geometry.box.Box` -- an axis-aligned hyper-rectangle made of
+  per-dimension intervals, with intersection, containment, subtraction and
+  disjoint-decomposition operations.
+- :mod:`~repro.geometry.constraints` -- helpers for the paper's constraint
+  pairs ``C = <C_lo, C_hi>`` (closed boxes) and their overlap relationships.
+- :mod:`~repro.geometry.dominance` -- Pareto dominance tests and dominance
+  regions ``DR(s)`` / ``DR(s, C)`` (Definition 2 of the paper).
+"""
+
+from repro.geometry.box import Box
+from repro.geometry.constraints import (
+    Constraints,
+    delta_region,
+    overlap_region,
+)
+from repro.geometry.dominance import (
+    dominance_region,
+    dominates,
+    dominates_all,
+    dominated_mask,
+)
+from repro.geometry.interval import Interval
+
+__all__ = [
+    "Box",
+    "Constraints",
+    "Interval",
+    "delta_region",
+    "dominance_region",
+    "dominated_mask",
+    "dominates",
+    "dominates_all",
+    "overlap_region",
+]

@@ -1,0 +1,314 @@
+"""Axis-aligned hyper-rectangles (boxes) with open/closed faces.
+
+A :class:`Box` is the product of one :class:`~repro.geometry.interval.Interval`
+per dimension.  Boxes are the working currency of the paper's MPR algorithm
+(Section 5.2): the queried constraint region starts as a single box and is
+repeatedly split by axis-orthogonal hyperplanes into disjoint pieces, each of
+which is ultimately issued as a range query.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.interval import Interval
+
+
+class Box:
+    """An axis-aligned hyper-rectangle with per-face open/closed flags."""
+
+    __slots__ = ("intervals",)
+
+    def __init__(self, intervals: Iterable[Interval]):
+        self.intervals: Tuple[Interval, ...] = tuple(intervals)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def closed(lo: Sequence[float], hi: Sequence[float]) -> "Box":
+        """Return the closed box ``[lo[0], hi[0]] x ... x [lo[d-1], hi[d-1]]``."""
+        if len(lo) != len(hi):
+            raise ValueError("lo and hi must have the same length")
+        return Box(Interval.closed(float(a), float(b)) for a, b in zip(lo, hi))
+
+    @staticmethod
+    def universe(ndim: int) -> "Box":
+        """Return the box covering all of ``R^ndim``."""
+        return Box(Interval.universe() for _ in range(ndim))
+
+    @staticmethod
+    def corner_at_least(point: Sequence[float]) -> "Box":
+        """Return the closed upper corner region ``{p | p >= point}``.
+
+        This is the (unconstrained) dominance region ``DR(point)`` of the
+        paper's Definition 2, closed at the corner.  See
+        :mod:`repro.geometry.dominance` for why the closed convention is safe
+        in the presence of coordinate duplicates.
+        """
+        return Box(
+            Interval(float(v), math.inf, lo_open=False, hi_open=True) for v in point
+        )
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.intervals)
+
+    def is_empty(self) -> bool:
+        """Return True if the box contains no point."""
+        return any(iv.is_empty() for iv in self.intervals)
+
+    def lo(self) -> np.ndarray:
+        """Return the lower corner as a float array."""
+        return np.array([iv.lo for iv in self.intervals], dtype=float)
+
+    def hi(self) -> np.ndarray:
+        """Return the upper corner as a float array."""
+        return np.array([iv.hi for iv in self.intervals], dtype=float)
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """Return True if ``point`` lies inside the box."""
+        return all(iv.contains(float(v)) for iv, v in zip(self.intervals, point))
+
+    def mask(self, points: np.ndarray) -> np.ndarray:
+        """Return a boolean mask of which rows of ``points`` lie in the box.
+
+        ``points`` is an ``(n, ndim)`` array; the comparisons respect the
+        open/closed flags on every face.
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != self.ndim:
+            raise ValueError(
+                f"expected points of shape (n, {self.ndim}), got {points.shape}"
+            )
+        ok = np.ones(len(points), dtype=bool)
+        for i, iv in enumerate(self.intervals):
+            col = points[:, i]
+            if math.isfinite(iv.lo):
+                ok &= (col > iv.lo) if iv.lo_open else (col >= iv.lo)
+            if math.isfinite(iv.hi):
+                ok &= (col < iv.hi) if iv.hi_open else (col <= iv.hi)
+        return ok
+
+    def volume(self) -> float:
+        """Return the Lebesgue volume of the box (0 for empty boxes)."""
+        if self.is_empty():
+            return 0.0
+        vol = 1.0
+        for iv in self.intervals:
+            vol *= iv.length()
+        return vol
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+    def intersect(self, other: "Box") -> "Box":
+        """Return the intersection box (possibly empty)."""
+        self._check_ndim(other)
+        return Box(a.intersect(b) for a, b in zip(self.intervals, other.intervals))
+
+    def overlaps(self, other: "Box") -> bool:
+        """Return True if the boxes share at least one point."""
+        self._check_ndim(other)
+        return all(a.overlaps(b) for a, b in zip(self.intervals, other.intervals))
+
+    def contains_box(self, other: "Box") -> bool:
+        """Return True if ``other`` is a subset of this box."""
+        self._check_ndim(other)
+        if other.is_empty():
+            return True
+        return all(
+            a.contains_interval(b) for a, b in zip(self.intervals, other.intervals)
+        )
+
+    def replace(self, dim: int, interval: Interval) -> "Box":
+        """Return a copy of the box with dimension ``dim`` set to ``interval``."""
+        ivs = list(self.intervals)
+        ivs[dim] = ivs[dim].intersect(interval)
+        return Box(ivs)
+
+    def subtract_box(self, other: "Box") -> List["Box"]:
+        """Return disjoint boxes covering ``self \\ other``.
+
+        The decomposition carves at most two slabs per dimension: below and
+        above ``other``'s extent, with the remaining "middle" band narrowed
+        dimension by dimension.  The returned pieces are pairwise disjoint,
+        together with ``self & other`` they exactly cover ``self``.
+        """
+        self._check_ndim(other)
+        if self.is_empty():
+            return []
+        clipped = self.intersect(other)
+        if clipped.is_empty():
+            return [self]
+        pieces: List[Box] = []
+        remainder = self
+        for i in range(self.ndim):
+            cut = clipped.intervals[i]
+            below = remainder.replace(
+                i, Interval(-math.inf, cut.lo, lo_open=True, hi_open=not cut.lo_open)
+            )
+            if not below.is_empty():
+                pieces.append(below)
+            above = remainder.replace(
+                i, Interval(cut.hi, math.inf, lo_open=not cut.hi_open, hi_open=True)
+            )
+            if not above.is_empty():
+                pieces.append(above)
+            remainder = remainder.replace(i, cut)
+        return pieces
+
+    def subtract_corner(self, point: Sequence[float]) -> List["Box"]:
+        """Return disjoint boxes covering ``self \\ DR(point)``.
+
+        ``DR(point)`` is the closed upper-corner region ``{p | p >= point}``
+        (Definition 2).  This is the primary splitting operation of the MPR
+        algorithm: the part of the box inside the dominance region needs no
+        fetching, the returned pieces might still hold skyline points.
+
+        The decomposition yields at most ``ndim`` pieces: for each dimension
+        ``i``, the slab with ``p[i] < point[i]`` and ``p[j] >= point[j]`` for
+        all ``j < i`` (intersected with the box).
+        """
+        point = [float(v) for v in point]
+        if len(point) != self.ndim:
+            raise ValueError("point dimensionality mismatch")
+        pieces: List[Box] = []
+        remainder = self
+        for i, v in enumerate(point):
+            piece = remainder.replace(
+                i, Interval(-math.inf, v, lo_open=True, hi_open=True)
+            )
+            if not piece.is_empty():
+                pieces.append(piece)
+            remainder = remainder.replace(
+                i, Interval(v, math.inf, lo_open=False, hi_open=True)
+            )
+            if remainder.is_empty():
+                break
+        return pieces
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def _check_ndim(self, other: "Box") -> None:
+        if self.ndim != other.ndim:
+            raise ValueError(
+                f"dimensionality mismatch: {self.ndim} vs {other.ndim}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Box):
+            return NotImplemented
+        return self.intervals == other.intervals
+
+    def __hash__(self) -> int:
+        return hash(self.intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self.intervals)
+
+    def __repr__(self) -> str:
+        inside = " x ".join(str(iv) for iv in self.intervals)
+        return f"Box({inside})"
+
+
+def decompose_difference(base: Box, removals: Iterable[Box]) -> List[Box]:
+    """Return disjoint boxes covering ``base`` minus the union of ``removals``.
+
+    Repeatedly applies :meth:`Box.subtract_box`, keeping the pieces disjoint
+    throughout.  Used for computing the invalidated overlap regions in the
+    unstable MPR case.
+    """
+    pieces = [base] if not base.is_empty() else []
+    for removal in removals:
+        next_pieces: List[Box] = []
+        for piece in pieces:
+            next_pieces.extend(piece.subtract_box(removal))
+        pieces = next_pieces
+        if not pieces:
+            break
+    return pieces
+
+
+def total_volume(boxes: Iterable[Box]) -> float:
+    """Return the summed volume of an iterable of (disjoint) boxes."""
+    return sum(box.volume() for box in boxes)
+
+
+def union_mask(boxes: Sequence[Box], points: np.ndarray) -> np.ndarray:
+    """Return a boolean mask of rows of ``points`` covered by any box."""
+    points = np.asarray(points, dtype=float)
+    covered = np.zeros(len(points), dtype=bool)
+    for box in boxes:
+        covered |= box.mask(points)
+    return covered
+
+
+def merge_aligned_boxes(boxes: Sequence[Box]) -> List[Box]:
+    """Greedily merge disjoint boxes that tile a larger box.
+
+    Two boxes merge along dimension ``i`` when every other dimension's
+    interval is identical (including open/closed flags) and their
+    ``i``-intervals abut exactly -- they share the boundary coordinate with
+    exactly one side closed, so the union is again a single interval with no
+    gap and no double-covered point.  Repeats to a fixpoint.
+
+    Merging never changes the covered point set; it only reduces the number
+    of range queries a decomposition issues (less random access), which is
+    the aMPR's goal of "fewer, but larger, disjoint range queries".
+    """
+    pool: List[Box] = [b for b in boxes if not b.is_empty()]
+    merged = True
+    while merged and len(pool) > 1:
+        merged = False
+        for i in range(len(pool)):
+            if merged:
+                break
+            for j in range(i + 1, len(pool)):
+                union = _try_merge(pool[i], pool[j])
+                if union is not None:
+                    pool[i] = union
+                    pool.pop(j)
+                    merged = True
+                    break
+    return pool
+
+
+def _try_merge(a: Box, b: Box) -> Optional[Box]:
+    """Return the union box if ``a`` and ``b`` tile one, else None."""
+    if a.ndim != b.ndim:
+        return None
+    diff_dim = -1
+    for i, (ia, ib) in enumerate(zip(a.intervals, b.intervals)):
+        if ia == ib:
+            continue
+        if diff_dim >= 0:
+            return None  # differ in more than one dimension
+        diff_dim = i
+    if diff_dim < 0:
+        return None  # identical boxes (should not occur in disjoint sets)
+    ia, ib = a.intervals[diff_dim], b.intervals[diff_dim]
+    if ia.lo > ib.lo:
+        ia, ib = ib, ia
+    if ia.hi != ib.lo or ia.hi_open == ib.lo_open:
+        return None  # gap, overlap, or the shared coordinate covered 0/2 times
+    joined = Interval(ia.lo, ib.hi, lo_open=ia.lo_open, hi_open=ib.hi_open)
+    ivs = list(a.intervals)
+    ivs[diff_dim] = joined
+    return Box(ivs)
+
+
+def pairwise_disjoint(boxes: Sequence[Box], samples: Optional[np.ndarray] = None) -> bool:
+    """Return True if no two boxes overlap (exact interval test)."""
+    for i in range(len(boxes)):
+        for j in range(i + 1, len(boxes)):
+            if boxes[i].overlaps(boxes[j]):
+                return False
+    return True

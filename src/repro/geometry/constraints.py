@@ -1,0 +1,142 @@
+"""Constraint pairs ``C = <C_lo, C_hi>`` (paper Section 3).
+
+A set of constraints is a pair of points giving, per dimension, the minimum
+and maximum admissible value.  The induced *constraint region* ``R_C`` is the
+closed hyper-rectangle spanned by the pair; the *constrained data* ``S_C`` is
+the subset of the dataset inside that region.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.box import Box
+
+
+class Constraints:
+    """Orthogonal range constraints: one ``[lo, hi]`` interval per dimension."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Sequence[float], hi: Sequence[float]):
+        lo_arr = np.asarray(lo, dtype=float).copy()
+        hi_arr = np.asarray(hi, dtype=float).copy()
+        if lo_arr.shape != hi_arr.shape or lo_arr.ndim != 1:
+            raise ValueError("lo and hi must be 1-D arrays of equal length")
+        if np.any(lo_arr > hi_arr):
+            raise ValueError("every lower constraint must be <= its upper constraint")
+        lo_arr.setflags(write=False)
+        hi_arr.setflags(write=False)
+        self.lo = lo_arr
+        self.hi = hi_arr
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_box(box: Box) -> "Constraints":
+        """Return the constraints whose region is the closure of ``box``."""
+        return Constraints(box.lo(), box.hi())
+
+    @staticmethod
+    def covering(points: np.ndarray) -> "Constraints":
+        """Return the tightest constraints containing every row of ``points``."""
+        points = np.asarray(points, dtype=float)
+        if len(points) == 0:
+            raise ValueError("cannot build covering constraints of an empty set")
+        return Constraints(points.min(axis=0), points.max(axis=0))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.lo)
+
+    def region(self) -> Box:
+        """Return ``R_C``, the closed constraint region, as a :class:`Box`."""
+        return Box.closed(self.lo, self.hi)
+
+    def satisfied_mask(self, points: np.ndarray) -> np.ndarray:
+        """Return a boolean mask of rows of ``points`` satisfying C.
+
+        Vectorized form of the paper's ``S_C`` membership test.
+        """
+        points = np.asarray(points, dtype=float)
+        return np.all((points >= self.lo) & (points <= self.hi), axis=1)
+
+    def satisfies(self, point: Sequence[float]) -> bool:
+        """Return True if a single point satisfies the constraints."""
+        p = np.asarray(point, dtype=float)
+        return bool(np.all(p >= self.lo) and np.all(p <= self.hi))
+
+    def contains(self, other: "Constraints") -> bool:
+        """Return True if ``other``'s region is inside this region."""
+        return bool(np.all(self.lo <= other.lo) and np.all(self.hi >= other.hi))
+
+    def overlaps(self, other: "Constraints") -> bool:
+        """Return True if the two constraint regions intersect."""
+        return bool(np.all(self.lo <= other.hi) and np.all(other.lo <= self.hi))
+
+    def volume(self) -> float:
+        """Return the volume of the constraint region."""
+        return float(np.prod(np.maximum(self.hi - self.lo, 0.0)))
+
+    def overlap_volume(self, other: "Constraints") -> float:
+        """Return the volume of the intersection of the two regions."""
+        lo = np.maximum(self.lo, other.lo)
+        hi = np.minimum(self.hi, other.hi)
+        if np.any(lo > hi):
+            return 0.0
+        return float(np.prod(hi - lo))
+
+    def widths(self) -> np.ndarray:
+        """Return per-dimension extents ``hi - lo``."""
+        return self.hi - self.lo
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def with_bound(self, dim: int, *, lower: float = None, upper: float = None) -> "Constraints":
+        """Return a copy with one dimension's bound(s) replaced."""
+        lo = self.lo.copy()
+        hi = self.hi.copy()
+        if lower is not None:
+            lo[dim] = lower
+        if upper is not None:
+            hi[dim] = upper
+        return Constraints(lo, hi)
+
+    def key(self) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+        """Return a hashable representation of the constraints."""
+        return (tuple(self.lo), tuple(self.hi))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Constraints):
+            return NotImplemented
+        return np.array_equal(self.lo, other.lo) and np.array_equal(self.hi, other.hi)
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        dims = ", ".join(
+            f"[{a:g}, {b:g}]" for a, b in zip(self.lo, self.hi)
+        )
+        return f"Constraints({dims})"
+
+
+def overlap_region(old: Constraints, new: Constraints) -> Box:
+    """Return the region satisfying both constraint sets (possibly empty)."""
+    return old.region().intersect(new.region())
+
+
+def delta_region(old: Constraints, new: Constraints) -> List[Box]:
+    """Return disjoint boxes covering ``R_new \\ R_old``.
+
+    For the paper's incremental cases this is the (rectangular) region
+    ``Delta C``; in general it decomposes into up to ``2 * ndim`` slabs.
+    """
+    return new.region().subtract_box(old.region())

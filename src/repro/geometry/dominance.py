@@ -1,0 +1,75 @@
+"""Pareto dominance tests and dominance regions (paper Definition 2).
+
+Throughout the library (and the paper), smaller is better in every dimension:
+``s`` dominates ``t`` (written ``s < t`` in the paper) iff ``s[i] <= t[i]``
+for every dimension and ``s[i] < t[i]`` for at least one.
+
+Dominance regions and coordinate duplicates
+-------------------------------------------
+``DR(s)`` as returned by :func:`dominance_region` is the *closed* corner
+region ``{p | p >= s}``, which also contains ``s`` itself and any exact
+coordinate duplicates of ``s`` -- points that ``s`` does *not* dominate.
+Using the closed region for MPR pruning is nevertheless safe: every exact
+duplicate of a cached skyline point shares its constraint membership and its
+dominance status, so duplicates are always cached (and survive or fall)
+together with the point whose region prunes them.  Tests in
+``tests/core/test_cbcs_equivalence.py`` exercise this with duplicated data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.box import Box
+from repro.geometry.constraints import Constraints
+
+
+def dominates(s: Sequence[float], t: Sequence[float]) -> bool:
+    """Return True if point ``s`` dominates point ``t``."""
+    s_arr = np.asarray(s, dtype=float)
+    t_arr = np.asarray(t, dtype=float)
+    return bool(np.all(s_arr <= t_arr) and np.any(s_arr < t_arr))
+
+
+def dominates_all(points: np.ndarray, t: Sequence[float]) -> np.ndarray:
+    """Return a mask of which rows of ``points`` dominate point ``t``."""
+    points = np.asarray(points, dtype=float)
+    t_arr = np.asarray(t, dtype=float)
+    le = np.all(points <= t_arr, axis=1)
+    lt = np.any(points < t_arr, axis=1)
+    return le & lt
+
+
+def dominated_mask(points: np.ndarray, dominators: np.ndarray) -> np.ndarray:
+    """Return a mask of rows of ``points`` dominated by any row of ``dominators``.
+
+    ``points`` is ``(n, d)`` and ``dominators`` is ``(m, d)``; the result has
+    length ``n``.  Runs one vectorized pass per dominator, i.e. ``O(m)``
+    numpy operations of size ``n`` -- appropriate when ``m`` (e.g. a cached
+    skyline) is much smaller than ``n`` (candidate points).
+    """
+    points = np.asarray(points, dtype=float)
+    dominators = np.asarray(dominators, dtype=float)
+    out = np.zeros(len(points), dtype=bool)
+    for dom in dominators:
+        le = np.all(points >= dom, axis=1)
+        lt = np.any(points > dom, axis=1)
+        out |= le & lt
+    return out
+
+
+def dominance_region(
+    s: Sequence[float], constraints: Optional[Constraints] = None
+) -> Box:
+    """Return ``DR(s)`` or, when constraints are given, ``DR(s, C)``.
+
+    ``DR(s)`` is the closed corner region ``{p | p >= s}``; ``DR(s, C)`` is
+    its intersection with the constraint region (paper Definition 2 and the
+    constrained variant of Section 3).
+    """
+    region = Box.corner_at_least(s)
+    if constraints is not None:
+        region = region.intersect(constraints.region())
+    return region

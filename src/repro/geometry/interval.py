@@ -1,0 +1,124 @@
+"""1-D intervals with independently open or closed endpoints.
+
+The MPR algorithm (paper Section 5.2) decomposes a constraint region into
+*disjoint* axis-orthogonal range queries.  The paper sidesteps points lying
+exactly on a split plane by assuming they do not exist; we instead carry an
+open/closed flag on every endpoint, so splits such as ``p[i] < u[i]`` versus
+``p[i] >= u[i]`` produce genuinely disjoint pieces even when data points
+coincide with split coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A 1-D interval ``{x | lo <? x <? hi}`` with open/closed endpoints.
+
+    ``lo_open`` / ``hi_open`` select strict (`<`) versus non-strict (`<=`)
+    comparison at the respective endpoint.  Infinite endpoints are allowed
+    (and treated as open, since no finite value equals them).
+    """
+
+    lo: float
+    hi: float
+    lo_open: bool = False
+    hi_open: bool = False
+
+    @staticmethod
+    def closed(lo: float, hi: float) -> "Interval":
+        """Return the closed interval ``[lo, hi]``."""
+        return Interval(lo, hi, lo_open=False, hi_open=False)
+
+    @staticmethod
+    def universe() -> "Interval":
+        """Return the interval covering the whole real line."""
+        return Interval(-math.inf, math.inf, lo_open=True, hi_open=True)
+
+    def is_empty(self) -> bool:
+        """Return True if no real number satisfies the interval."""
+        if self.lo > self.hi:
+            return True
+        if self.lo == self.hi:
+            return self.lo_open or self.hi_open or math.isinf(self.lo)
+        return False
+
+    def contains(self, x: float) -> bool:
+        """Return True if ``x`` lies inside the interval."""
+        if self.lo_open:
+            if not x > self.lo:
+                return False
+        elif not x >= self.lo:
+            return False
+        if self.hi_open:
+            return x < self.hi
+        return x <= self.hi
+
+    def length(self) -> float:
+        """Return the (measure-theoretic) length of the interval."""
+        if self.is_empty():
+            return 0.0
+        return self.hi - self.lo
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """Return the intersection with ``other`` (possibly empty)."""
+        if self.lo > other.lo:
+            lo, lo_open = self.lo, self.lo_open
+        elif self.lo < other.lo:
+            lo, lo_open = other.lo, other.lo_open
+        else:
+            lo, lo_open = self.lo, self.lo_open or other.lo_open
+        if self.hi < other.hi:
+            hi, hi_open = self.hi, self.hi_open
+        elif self.hi > other.hi:
+            hi, hi_open = other.hi, other.hi_open
+        else:
+            hi, hi_open = self.hi, self.hi_open or other.hi_open
+        return Interval(lo, hi, lo_open=lo_open, hi_open=hi_open)
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Return True if the two intervals share at least one point."""
+        return not self.intersect(other).is_empty()
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """Return True if ``other`` is a subset of this interval.
+
+        An empty ``other`` is a subset of anything.
+        """
+        if other.is_empty():
+            return True
+        if self.is_empty():
+            return False
+        if other.lo < self.lo:
+            return False
+        if other.lo == self.lo and self.lo_open and not other.lo_open:
+            return False
+        if other.hi > self.hi:
+            return False
+        if other.hi == self.hi and self.hi_open and not other.hi_open:
+            return False
+        return True
+
+    def below(self, x: float, *, strict: bool = True) -> "Interval":
+        """Return the part of the interval below ``x``.
+
+        With ``strict`` (default) the result satisfies ``v < x``; otherwise
+        ``v <= x``.
+        """
+        return self.intersect(Interval(-math.inf, x, lo_open=True, hi_open=strict))
+
+    def above(self, x: float, *, strict: bool = False) -> "Interval":
+        """Return the part of the interval above ``x``.
+
+        With ``strict`` the result satisfies ``v > x``; by default ``v >= x``
+        (the closed corner convention used for dominance regions).
+        """
+        return self.intersect(Interval(x, math.inf, lo_open=strict, hi_open=True))
+
+    def __str__(self) -> str:
+        left = "(" if self.lo_open else "["
+        right = ")" if self.hi_open else "]"
+        return f"{left}{self.lo:g}, {self.hi:g}{right}"

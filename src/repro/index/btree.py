@@ -1,0 +1,449 @@
+"""A B+-tree with array-backed leaves.
+
+This is the reproduction's stand-in for the per-dimension B-tree indexes the
+paper builds in PostgreSQL ("Data is stored in PostgreSQL 9.1.13 with each
+dimension indexed by a standard B-tree", Section 7).  It maps one column's
+values to row identifiers and supports:
+
+- logarithmic point and range lookups with open or closed bounds,
+- range *counting* without materializing row ids (used by the query planner
+  to pick the most selective index),
+- bulk loading from a sorted column (how :class:`~repro.storage.table.DiskTable`
+  builds its indexes), and
+- ordinary top-down inserts for dynamic use.
+
+Leaves store contiguous numpy arrays of (key, rowid) pairs, so range scans
+return whole array slices per leaf rather than iterating Python objects --
+the same reason real B+-trees read whole pages.  The tree counts node visits
+in :attr:`BPlusTree.nodes_visited`; index traversal is assumed to be
+in-memory (the paper never charges index I/O separately either).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+_DEFAULT_LEAF_CAPACITY = 256
+_DEFAULT_FANOUT = 64
+
+
+class _Leaf:
+    """A leaf page: sorted keys with their row ids, plus a next-leaf link."""
+
+    __slots__ = ("keys", "rows", "next")
+
+    def __init__(self, keys: np.ndarray, rows: np.ndarray):
+        self.keys = keys
+        self.rows = rows
+        self.next: Optional["_Leaf"] = None
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+class _Internal:
+    """An internal node: children separated by the minimum key of each child
+    but the first."""
+
+    __slots__ = ("separators", "children")
+
+    def __init__(self, separators: List[float], children: List[object]):
+        self.separators = separators
+        self.children = children
+
+    def child_index(self, key: float) -> int:
+        """Return the index of the child subtree that may contain ``key``."""
+        return bisect.bisect_right(self.separators, key)
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+
+class BPlusTree:
+    """A B+-tree mapping float keys to integer row ids (duplicates allowed)."""
+
+    def __init__(
+        self,
+        leaf_capacity: int = _DEFAULT_LEAF_CAPACITY,
+        fanout: int = _DEFAULT_FANOUT,
+    ):
+        if leaf_capacity < 2 or fanout < 3:
+            raise ValueError("leaf_capacity must be >= 2 and fanout >= 3")
+        self.leaf_capacity = leaf_capacity
+        self.fanout = fanout
+        self.nodes_visited = 0
+        self._size = 0
+        self._root: object = _Leaf(np.empty(0), np.empty(0, dtype=np.int64))
+        self._height = 1
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls,
+        keys: np.ndarray,
+        rows: np.ndarray,
+        leaf_capacity: int = _DEFAULT_LEAF_CAPACITY,
+        fanout: int = _DEFAULT_FANOUT,
+        presorted: bool = False,
+    ) -> "BPlusTree":
+        """Build a tree from a column of keys and their row ids.
+
+        Leaves are filled to capacity left to right; upper levels are packed
+        bottom-up, giving the classic bulk-loaded B+-tree shape.
+        """
+        tree = cls(leaf_capacity=leaf_capacity, fanout=fanout)
+        keys = np.asarray(keys, dtype=float)
+        rows = np.asarray(rows, dtype=np.int64)
+        if keys.shape != rows.shape or keys.ndim != 1:
+            raise ValueError("keys and rows must be 1-D arrays of equal length")
+        if len(keys) == 0:
+            return tree
+        if not presorted:
+            order = np.argsort(keys, kind="stable")
+            keys = keys[order]
+            rows = rows[order]
+        elif np.any(np.diff(keys) < 0):
+            raise ValueError("presorted=True but keys are not sorted")
+
+        # Even distribution (sizes differing by at most one) keeps every
+        # node at or above half fill, so the deletion rebalancing invariant
+        # holds from the start.
+        n_leaves = -(-len(keys) // leaf_capacity)
+        leaves: List[_Leaf] = [
+            _Leaf(k.copy(), r.copy())
+            for k, r in zip(np.array_split(keys, n_leaves), np.array_split(rows, n_leaves))
+        ]
+        for prev, nxt in zip(leaves, leaves[1:]):
+            prev.next = nxt
+
+        level: List[object] = list(leaves)
+        height = 1
+        while len(level) > 1:
+            n_parents = -(-len(level) // fanout)
+            parents: List[object] = []
+            bounds = np.array_split(np.arange(len(level)), n_parents)
+            for group_idx in bounds:
+                group = [level[i] for i in group_idx]
+                separators = [tree._min_key(child) for child in group[1:]]
+                parents.append(_Internal(separators, group))
+            level = parents
+            height += 1
+        tree._root = level[0]
+        tree._height = height
+        tree._size = len(keys)
+        return tree
+
+    def insert(self, key: float, row: int) -> None:
+        """Insert one (key, row) pair, splitting nodes as required."""
+        split = self._insert_into(self._root, float(key), int(row))
+        if split is not None:
+            sep, right = split
+            self._root = _Internal([sep], [self._root, right])
+            self._height += 1
+        self._size += 1
+
+    def delete(self, key: float, row: int) -> bool:
+        """Delete one (key, row) pair; returns False if it is not present.
+
+        Underfull nodes borrow from a sibling or merge with one, with
+        separators maintained and the root collapsed when it empties --
+        the standard B+-tree rebalancing.
+        """
+        if self._delete_from(self._root, float(key), int(row)):
+            root = self._root
+            if isinstance(root, _Internal) and len(root.children) == 1:
+                self._root = root.children[0]
+                self._height -= 1
+            self._size -= 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    def range_rows(
+        self,
+        lo: float = -np.inf,
+        hi: float = np.inf,
+        lo_open: bool = False,
+        hi_open: bool = False,
+    ) -> np.ndarray:
+        """Return row ids whose key lies in the given interval.
+
+        Rows come back in key order.  Bounds follow the open/closed
+        convention of :class:`repro.geometry.interval.Interval`.
+        """
+        chunks: List[np.ndarray] = []
+        for leaf, start, stop in self._leaf_slices(lo, hi, lo_open, hi_open):
+            chunks.append(leaf.rows[start:stop])
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    def count_range(
+        self,
+        lo: float = -np.inf,
+        hi: float = np.inf,
+        lo_open: bool = False,
+        hi_open: bool = False,
+    ) -> int:
+        """Return the number of keys in the interval without materializing
+        row ids.  Same traversal cost as :meth:`range_rows`, no copies."""
+        total = 0
+        for _leaf, start, stop in self._leaf_slices(lo, hi, lo_open, hi_open):
+            total += stop - start
+        return total
+
+    def lookup(self, key: float) -> np.ndarray:
+        """Return all row ids stored under exactly ``key``."""
+        return self.range_rows(key, key)
+
+    def items(self) -> Iterator[Tuple[float, int]]:
+        """Yield (key, row) pairs in key order."""
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            for key, row in zip(leaf.keys, leaf.rows):
+                yield float(key), int(row)
+            leaf = leaf.next
+
+    def min_key(self) -> Optional[float]:
+        """Return the smallest key, or None if the tree is empty."""
+        if self._size == 0:
+            return None
+        leaf = self._leftmost_leaf()
+        while leaf is not None and len(leaf) == 0:
+            leaf = leaf.next
+        return float(leaf.keys[0]) if leaf is not None else None
+
+    # ------------------------------------------------------------------
+    # Invariant checking (for tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any structural invariant is violated."""
+        self._check_node(self._root, depth=1)
+        # leaf chain is globally sorted and covers _size entries
+        leaf = self._leftmost_leaf()
+        prev = -np.inf
+        count = 0
+        while leaf is not None:
+            if len(leaf):
+                assert np.all(np.diff(leaf.keys) >= 0), "leaf keys unsorted"
+                assert leaf.keys[0] >= prev, "leaf chain unordered"
+                prev = leaf.keys[-1]
+                count += len(leaf)
+            leaf = leaf.next
+        assert count == self._size, "leaf chain size mismatch"
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _min_key(self, node: object) -> float:
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return float(node.keys[0])
+
+    def _leftmost_leaf(self) -> Optional[_Leaf]:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return node
+
+    def _descend_to_leaf(self, key: float) -> _Leaf:
+        """Descend to the leftmost leaf that may contain ``key``.
+
+        Uses a left-biased child choice (``bisect_left`` on separators) so
+        duplicate runs spanning a leaf boundary are scanned from their first
+        occurrence; inserts use the right-biased :meth:`_Internal.child_index`.
+        """
+        node = self._root
+        self.nodes_visited += 1
+        while isinstance(node, _Internal):
+            node = node.children[bisect.bisect_left(node.separators, key)]
+            self.nodes_visited += 1
+        return node
+
+    def _leaf_slices(
+        self, lo: float, hi: float, lo_open: bool, hi_open: bool
+    ) -> Iterator[Tuple[_Leaf, int, int]]:
+        """Yield (leaf, start, stop) slices covering the key interval."""
+        if lo > hi or self._size == 0:
+            return
+        leaf = self._descend_to_leaf(lo)
+        while leaf is not None:
+            self.nodes_visited += 1
+            keys = leaf.keys
+            if len(keys):
+                if lo_open:
+                    start = int(np.searchsorted(keys, lo, side="right"))
+                else:
+                    start = int(np.searchsorted(keys, lo, side="left"))
+                if hi_open:
+                    stop = int(np.searchsorted(keys, hi, side="left"))
+                else:
+                    stop = int(np.searchsorted(keys, hi, side="right"))
+                if start < stop:
+                    yield leaf, start, stop
+                if stop < len(keys):
+                    # interval ends inside this leaf
+                    return
+            leaf = leaf.next
+
+    def _insert_into(
+        self, node: object, key: float, row: int
+    ) -> Optional[Tuple[float, object]]:
+        """Insert below ``node``; return (separator, new right sibling) on split."""
+        if isinstance(node, _Leaf):
+            pos = int(np.searchsorted(node.keys, key, side="right"))
+            node.keys = np.insert(node.keys, pos, key)
+            node.rows = np.insert(node.rows, pos, row)
+            if len(node.keys) <= self.leaf_capacity:
+                return None
+            mid = len(node.keys) // 2
+            right = _Leaf(node.keys[mid:].copy(), node.rows[mid:].copy())
+            node.keys = node.keys[:mid].copy()
+            node.rows = node.rows[:mid].copy()
+            right.next = node.next
+            node.next = right
+            return float(right.keys[0]), right
+
+        idx = node.child_index(key)
+        split = self._insert_into(node.children[idx], key, row)
+        if split is None:
+            return None
+        sep, right = split
+        node.separators.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.children) <= self.fanout:
+            return None
+        mid = len(node.children) // 2
+        push_up = node.separators[mid - 1]
+        right_node = _Internal(node.separators[mid:], node.children[mid:])
+        node.separators = node.separators[: mid - 1]
+        node.children = node.children[:mid]
+        return push_up, right_node
+
+    def _delete_from(self, node: object, key: float, row: int) -> bool:
+        """Delete below ``node``; rebalances children after removal."""
+        if isinstance(node, _Leaf):
+            start = int(np.searchsorted(node.keys, key, side="left"))
+            stop = int(np.searchsorted(node.keys, key, side="right"))
+            for pos in range(start, stop):
+                if node.rows[pos] == row:
+                    node.keys = np.delete(node.keys, pos)
+                    node.rows = np.delete(node.rows, pos)
+                    return True
+            return False
+        # Duplicates of ``key`` may span several children: try every child
+        # whose key range can contain it, leftmost first.
+        first = bisect.bisect_left(node.separators, key)
+        last = bisect.bisect_right(node.separators, key)
+        for idx in range(first, last + 1):
+            if self._delete_from(node.children[idx], key, row):
+                self._rebalance_child(node, idx)
+                return True
+        return False
+
+    def _min_fill_leaf(self) -> int:
+        return self.leaf_capacity // 2
+
+    def _min_fill_internal(self) -> int:
+        return (self.fanout + 1) // 2
+
+    def _rebalance_child(self, parent: "_Internal", idx: int) -> None:
+        """Restore the fill invariant of ``parent.children[idx]``."""
+        child = parent.children[idx]
+        if isinstance(child, _Leaf):
+            if len(child) >= self._min_fill_leaf():
+                return
+        elif len(child.children) >= self._min_fill_internal():
+            return
+
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = parent.children[idx + 1] if idx + 1 < len(parent.children) else None
+
+        if isinstance(child, _Leaf):
+            if left is not None and len(left) > self._min_fill_leaf():
+                child.keys = np.insert(child.keys, 0, left.keys[-1])
+                child.rows = np.insert(child.rows, 0, left.rows[-1])
+                left.keys = left.keys[:-1]
+                left.rows = left.rows[:-1]
+                parent.separators[idx - 1] = float(child.keys[0])
+            elif right is not None and len(right) > self._min_fill_leaf():
+                child.keys = np.append(child.keys, right.keys[0])
+                child.rows = np.append(child.rows, right.rows[0])
+                right.keys = right.keys[1:]
+                right.rows = right.rows[1:]
+                parent.separators[idx] = float(right.keys[0])
+            elif left is not None:
+                left.keys = np.concatenate([left.keys, child.keys])
+                left.rows = np.concatenate([left.rows, child.rows])
+                left.next = child.next
+                parent.children.pop(idx)
+                parent.separators.pop(idx - 1)
+            elif right is not None:
+                child.keys = np.concatenate([child.keys, right.keys])
+                child.rows = np.concatenate([child.rows, right.rows])
+                child.next = right.next
+                parent.children.pop(idx + 1)
+                parent.separators.pop(idx)
+            return
+
+        # internal child
+        if left is not None and len(left.children) > self._min_fill_internal():
+            moved = left.children.pop()
+            child.children.insert(0, moved)
+            child.separators.insert(0, parent.separators[idx - 1])
+            parent.separators[idx - 1] = left.separators.pop()
+        elif right is not None and len(right.children) > self._min_fill_internal():
+            moved = right.children.pop(0)
+            child.children.append(moved)
+            child.separators.append(parent.separators[idx])
+            parent.separators[idx] = right.separators.pop(0)
+        elif left is not None:
+            left.separators.append(parent.separators[idx - 1])
+            left.separators.extend(child.separators)
+            left.children.extend(child.children)
+            parent.children.pop(idx)
+            parent.separators.pop(idx - 1)
+        elif right is not None:
+            child.separators.append(parent.separators[idx])
+            child.separators.extend(right.separators)
+            child.children.extend(right.children)
+            parent.children.pop(idx + 1)
+            parent.separators.pop(idx)
+
+    def _check_node(self, node: object, depth: int) -> int:
+        """Return the depth of the leaves under ``node`` (must be uniform)."""
+        is_root = node is self._root
+        if isinstance(node, _Leaf):
+            assert len(node) <= self.leaf_capacity, "leaf overflow"
+            if not is_root:
+                assert len(node) >= self._min_fill_leaf(), "leaf underflow"
+            return depth
+        assert isinstance(node, _Internal)
+        assert len(node.children) <= self.fanout, "internal overflow"
+        if not is_root:
+            assert len(node.children) >= self._min_fill_internal(), (
+                "internal underflow"
+            )
+        else:
+            assert len(node.children) >= 2, "root must have >= 2 children"
+        assert len(node.separators) == len(node.children) - 1
+        assert all(
+            a <= b for a, b in zip(node.separators, node.separators[1:])
+        ), "separators unsorted"
+        depths = {self._check_node(child, depth + 1) for child in node.children}
+        assert len(depths) == 1, "tree not balanced"
+        return depths.pop()

@@ -1,0 +1,351 @@
+"""R*-tree insertion/deletion heuristics (Beckmann et al., SIGMOD 1990).
+
+The paper's cache "is organized by an R*-tree indexing the MBR of each cached
+skyline" (Section 6).  This module implements the R* heuristics on top of the
+node structure in :mod:`repro.index.rtree`:
+
+- **ChooseSubtree** -- minimal overlap enlargement when the children are
+  leaves, minimal area enlargement otherwise;
+- **forced reinsertion** -- on the first overflow per level per insertion,
+  the 30% of entries farthest from the node's center are removed and
+  re-inserted, which re-shuffles badly placed entries instead of splitting;
+- **R\\* split** -- axis chosen by minimal margin sum over candidate
+  distributions, split index chosen by minimal overlap (ties: minimal area);
+- **condensed deletion** -- underfull nodes are dissolved and their entries
+  re-inserted at the correct level.
+
+All functions take the tree as the first argument; they are free functions
+(rather than methods) to keep the node/tree structure readable on its own.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.index.rtree import (
+    RNode,
+    _mbr_area,
+    _mbr_margin,
+    _overlap_area,
+    _union,
+)
+
+REINSERT_FRACTION = 0.3
+
+
+# ----------------------------------------------------------------------
+# Insertion
+# ----------------------------------------------------------------------
+def insert(
+    tree,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    item,
+    target_level: int,
+    reinserted_levels: Set[int],
+) -> None:
+    """Insert ``item`` (payload if ``target_level == 0``, else a subtree)
+    into a node at ``target_level``, applying R* overflow treatment."""
+    path = _choose_path(tree, lo, hi, target_level)
+    node = path[-1]
+    _add_entry(node, lo, hi, item)
+    _refresh_mbrs(path)
+    _handle_overflow(tree, path, reinserted_levels)
+
+
+def _choose_path(tree, lo: np.ndarray, hi: np.ndarray, target_level: int) -> List[RNode]:
+    """Return the root-to-target path chosen by the R* ChooseSubtree rule."""
+    node = tree.root
+    path = [node]
+    while node.level > target_level:
+        node = _choose_subtree(node, lo, hi)
+        path.append(node)
+    return path
+
+
+def _choose_subtree(node: RNode, lo: np.ndarray, hi: np.ndarray) -> RNode:
+    children = node.children
+    if node.level == 1:
+        # children are leaves: minimize overlap enlargement
+        best, best_key = None, None
+        for i, child in enumerate(children):
+            new_lo, new_hi = _union(child.lo, child.hi, lo, hi)
+            overlap_before = 0.0
+            overlap_after = 0.0
+            for j, sibling in enumerate(children):
+                if i == j:
+                    continue
+                overlap_before += _overlap_area(
+                    child.lo, child.hi, sibling.lo, sibling.hi
+                )
+                overlap_after += _overlap_area(new_lo, new_hi, sibling.lo, sibling.hi)
+            area = _mbr_area(child.lo, child.hi)
+            enlargement = _mbr_area(new_lo, new_hi) - area
+            key = (overlap_after - overlap_before, enlargement, area)
+            if best_key is None or key < best_key:
+                best, best_key = child, key
+        return best
+    # children are internal: minimize area enlargement
+    best, best_key = None, None
+    for child in children:
+        new_lo, new_hi = _union(child.lo, child.hi, lo, hi)
+        area = _mbr_area(child.lo, child.hi)
+        key = (_mbr_area(new_lo, new_hi) - area, area)
+        if best_key is None or key < best_key:
+            best, best_key = child, key
+    return best
+
+
+def _add_entry(node: RNode, lo: np.ndarray, hi: np.ndarray, item) -> None:
+    if node.is_leaf:
+        if node.entry_lo is None or len(node.entry_lo) == 0:
+            node.entry_lo = lo.reshape(1, -1).copy()
+            node.entry_hi = hi.reshape(1, -1).copy()
+            node.payloads = [item]
+        else:
+            node.entry_lo = np.vstack([node.entry_lo, lo])
+            node.entry_hi = np.vstack([node.entry_hi, hi])
+            node.payloads = list(node.payloads)
+            node.payloads.append(item)
+    else:
+        node.children.append(item)
+
+
+def _refresh_mbrs(path: List[RNode]) -> None:
+    """Recompute MBRs bottom-up along a root-to-node path."""
+    for node in reversed(path):
+        node.recompute_mbr()
+
+
+def _handle_overflow(tree, path: List[RNode], reinserted_levels: Set[int]) -> None:
+    idx = len(path) - 1
+    while idx >= 0:
+        node = path[idx]
+        if node.entry_count() <= tree.max_entries:
+            idx -= 1
+            continue
+        parent = path[idx - 1] if idx > 0 else None
+        if parent is not None and node.level not in reinserted_levels:
+            reinserted_levels.add(node.level)
+            _force_reinsert(tree, node, path[: idx + 1], reinserted_levels)
+            return
+        sibling = _split(tree, node)
+        if parent is None:
+            new_root = RNode(level=node.level + 1)
+            new_root.children = [node, sibling]
+            new_root.recompute_mbr()
+            tree._root = new_root
+            return
+        parent.children.append(sibling)
+        _refresh_mbrs(path[:idx])
+        idx -= 1
+
+
+def _entry_rects(node: RNode) -> Tuple[np.ndarray, np.ndarray]:
+    """Return the (k, d) lower/upper rectangle arrays of a node's entries."""
+    if node.is_leaf:
+        return node.entry_lo, node.entry_hi
+    los = np.array([c.lo for c in node.children])
+    his = np.array([c.hi for c in node.children])
+    return los, his
+
+
+def _take_entries(node: RNode, keep: np.ndarray, remove: np.ndarray) -> list:
+    """Keep the entries indexed by ``keep``; return the removed entries as
+    (lo, hi, item, target_level) tuples."""
+    los, his = _entry_rects(node)
+    removed = []
+    if node.is_leaf:
+        for i in remove:
+            removed.append((los[i].copy(), his[i].copy(), node.payloads[i], 0))
+        node.entry_lo = node.entry_lo[keep].copy()
+        node.entry_hi = node.entry_hi[keep].copy()
+        node.payloads = [node.payloads[i] for i in keep]
+    else:
+        for i in remove:
+            child = node.children[i]
+            removed.append((los[i].copy(), his[i].copy(), child, node.level))
+        node.children = [node.children[i] for i in keep]
+    node.recompute_mbr()
+    return removed
+
+
+def _force_reinsert(
+    tree, node: RNode, path: List[RNode], reinserted_levels: Set[int]
+) -> None:
+    """R* forced reinsertion: evict the entries farthest from the node's
+    center and insert them again from the root."""
+    los, his = _entry_rects(node)
+    centers = (los + his) / 2.0
+    node_center = (node.lo + node.hi) / 2.0
+    dist = np.sum((centers - node_center) ** 2, axis=1)
+    k = node.entry_count()
+    p = max(1, int(round(REINSERT_FRACTION * k)))
+    order = np.argsort(dist)  # close-first reinsert order for the tail
+    keep, evict = order[: k - p], order[k - p :]
+    removed = _take_entries(node, np.sort(keep), evict)
+    _refresh_mbrs(path)
+    for lo, hi, item, level in removed:
+        insert(tree, lo, hi, item, level, reinserted_levels)
+
+
+def _split(tree, node: RNode) -> RNode:
+    """R* topological split; mutates ``node`` in place and returns the new
+    sibling at the same level."""
+    los, his = _entry_rects(node)
+    k = len(los)
+    m = tree.min_entries
+    axis, order, split_at = _choose_split(los, his, k, m)
+    left = order[:split_at]
+    right = order[split_at:]
+
+    sibling = RNode(level=node.level)
+    if node.is_leaf:
+        sibling.entry_lo = node.entry_lo[right].copy()
+        sibling.entry_hi = node.entry_hi[right].copy()
+        sibling.payloads = [node.payloads[i] for i in right]
+        node.entry_lo = node.entry_lo[left].copy()
+        node.entry_hi = node.entry_hi[left].copy()
+        node.payloads = [node.payloads[i] for i in left]
+    else:
+        sibling.children = [node.children[i] for i in right]
+        node.children = [node.children[i] for i in left]
+    node.recompute_mbr()
+    sibling.recompute_mbr()
+    return sibling
+
+
+def _choose_split(
+    los: np.ndarray, his: np.ndarray, k: int, m: int
+) -> Tuple[int, np.ndarray, int]:
+    """Return (axis, entry order, split index) per the R* split algorithm."""
+    ndim = los.shape[1]
+    best_axis, best_axis_margin = 0, None
+    axis_orders = {}
+    for axis in range(ndim):
+        margin_total = 0.0
+        orders = [
+            np.lexsort((his[:, axis], los[:, axis])),
+            np.lexsort((los[:, axis], his[:, axis])),
+        ]
+        for order in orders:
+            for split_at in range(m, k - m + 1):
+                g1 = order[:split_at]
+                g2 = order[split_at:]
+                margin_total += _mbr_margin(
+                    los[g1].min(axis=0), his[g1].max(axis=0)
+                ) + _mbr_margin(los[g2].min(axis=0), his[g2].max(axis=0))
+        axis_orders[axis] = orders
+        if best_axis_margin is None or margin_total < best_axis_margin:
+            best_axis, best_axis_margin = axis, margin_total
+
+    best_key, best_order, best_split = None, None, None
+    for order in axis_orders[best_axis]:
+        for split_at in range(m, k - m + 1):
+            g1 = order[:split_at]
+            g2 = order[split_at:]
+            lo1, hi1 = los[g1].min(axis=0), his[g1].max(axis=0)
+            lo2, hi2 = los[g2].min(axis=0), his[g2].max(axis=0)
+            key = (
+                _overlap_area(lo1, hi1, lo2, hi2),
+                _mbr_area(lo1, hi1) + _mbr_area(lo2, hi2),
+            )
+            if best_key is None or key < best_key:
+                best_key, best_order, best_split = key, order, split_at
+    return best_axis, best_order, best_split
+
+
+# ----------------------------------------------------------------------
+# Deletion
+# ----------------------------------------------------------------------
+def delete(tree, lo: np.ndarray, hi: np.ndarray, payload) -> bool:
+    """Delete the entry matching rectangle and payload; condense the tree."""
+    path = _find_leaf(tree.root, lo, hi, payload)
+    if path is None:
+        return False
+    leaf = path[-1]
+    idx = _match_index(leaf, lo, hi, payload)
+    keep = np.array([i for i in range(leaf.entry_count()) if i != idx], dtype=int)
+    _take_entries(leaf, keep, np.array([idx], dtype=int))
+    _condense(tree, path)
+    return True
+
+
+def _match_index(leaf: RNode, lo: np.ndarray, hi: np.ndarray, payload) -> Optional[int]:
+    for i in range(leaf.entry_count()):
+        if (
+            np.array_equal(leaf.entry_lo[i], lo)
+            and np.array_equal(leaf.entry_hi[i], hi)
+            and leaf.payloads[i] is payload
+        ):
+            return i
+    for i in range(leaf.entry_count()):
+        if (
+            np.array_equal(leaf.entry_lo[i], lo)
+            and np.array_equal(leaf.entry_hi[i], hi)
+            and leaf.payloads[i] == payload
+        ):
+            return i
+    return None
+
+
+def _find_leaf(node: RNode, lo, hi, payload) -> Optional[List[RNode]]:
+    if node.lo is None:
+        return None
+    if not (np.all(node.lo <= lo) and np.all(node.hi >= hi)):
+        return None
+    if node.is_leaf:
+        if _match_index(node, lo, hi, payload) is not None:
+            return [node]
+        return None
+    for child in node.children:
+        sub = _find_leaf(child, lo, hi, payload)
+        if sub is not None:
+            return [node] + sub
+    return None
+
+
+def _condense(tree, path: List[RNode]) -> None:
+    """Remove underfull nodes along the path and re-insert their entries."""
+    orphans: List[Tuple[np.ndarray, np.ndarray, object, int]] = []
+    for depth in range(len(path) - 1, 0, -1):
+        node = path[depth]
+        parent = path[depth - 1]
+        if node.entry_count() < tree.min_entries:
+            parent.children.remove(node)
+            orphans.extend(_collect_entries(node))
+        else:
+            node.recompute_mbr()
+    _refresh_mbrs(path[:1])
+
+    root = tree.root
+    while not root.is_leaf and len(root.children) == 1:
+        tree._root = root.children[0]
+        root = tree.root
+    if not root.is_leaf and len(root.children) == 0:
+        empty = RNode(level=0)
+        empty.entry_lo = np.empty((0, tree.ndim))
+        empty.entry_hi = np.empty((0, tree.ndim))
+        empty.payloads = []
+        tree._root = empty
+
+    for lo, hi, item, level in orphans:
+        if isinstance(item, RNode) and item.level >= tree.root.level:
+            # The tree shrank below the orphan subtree's height; dissolve it.
+            orphans.extend(_collect_entries(item))
+            continue
+        insert(tree, lo, hi, item, level, reinserted_levels=set())
+
+
+def _collect_entries(node: RNode) -> List[Tuple[np.ndarray, np.ndarray, object, int]]:
+    """Return a node's entries as (lo, hi, item, target_level) tuples."""
+    los, his = _entry_rects(node)
+    out = []
+    for i in range(node.entry_count()):
+        if node.is_leaf:
+            out.append((los[i].copy(), his[i].copy(), node.payloads[i], 0))
+        else:
+            out.append((los[i].copy(), his[i].copy(), node.children[i], node.level))
+    return out

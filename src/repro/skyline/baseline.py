@@ -1,0 +1,53 @@
+"""The naive constrained-skyline plan of Börzsönyi et al. [3].
+
+"The naive approach ... is to execute a range query to fetch points
+satisfying the constraints, and then compute the skyline over those points
+using an efficient skyline algorithm" (paper Section 1).  The paper's
+Baseline uses SFS for the skyline stage, as do we.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.geometry.constraints import Constraints
+from repro.skyline.sfs import sfs_skyline
+from repro.stats import QueryOutcome, Stopwatch
+from repro.storage.table import DiskTable
+
+
+def naive_constrained_skyline(
+    table: DiskTable, constraints: Constraints
+) -> Tuple[np.ndarray, int]:
+    """Fetch ``S_C`` with one range query and run SFS over it.
+
+    Returns ``(skyline_points, rows_fetched)``.
+    """
+    result = table.range_query(constraints.region())
+    skyline = result.points[sfs_skyline(result.points)]
+    return skyline, result.rows_fetched
+
+
+class BaselineMethod:
+    """Query-method wrapper around the naive plan for the harness."""
+
+    name = "Baseline"
+
+    def __init__(self, table: DiskTable):
+        self.table = table
+
+    def query(self, constraints: Constraints) -> QueryOutcome:
+        """Answer one constrained skyline query."""
+        watch = Stopwatch()
+        before = self.table.stats.snapshot()
+        with watch.stage("fetch_wall"):
+            result = self.table.range_query(constraints.region())
+        with watch.stage("skyline"):
+            skyline = result.points[sfs_skyline(result.points)]
+        io = self.table.stats.delta_since(before)
+        watch.timings.fetch_io_ms = io.simulated_io_ms
+        return QueryOutcome(
+            skyline=skyline, method=self.name, timings=watch.timings, io=io
+        )

@@ -1,0 +1,42 @@
+"""Block-Nested-Loops skyline (Börzsönyi et al. [3]).
+
+The original skyline algorithm: stream the input against a window of
+incomparable points, dropping dominated candidates and evicting window
+points that a new candidate dominates.  Included as a secondary comparator
+and cross-check for SFS; the window fits in memory throughout (the paper's
+setting -- its inputs to the skyline stage are already range-query results).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def bnl_skyline(points: np.ndarray) -> np.ndarray:
+    """Return the indices of the skyline rows of ``points``."""
+    points = np.asarray(points, dtype=float)
+    n = len(points)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+
+    window: List[int] = []
+    window_pts = np.empty((0, points.shape[1]))
+    for i in range(n):
+        p = points[i]
+        if len(window):
+            le = np.all(window_pts <= p, axis=1)
+            lt = np.any(window_pts < p, axis=1)
+            if np.any(le & lt):
+                continue  # p dominated by a window point
+            ge = np.all(window_pts >= p, axis=1)
+            gt = np.any(window_pts > p, axis=1)
+            evict = ge & gt
+            if np.any(evict):
+                keep = ~evict
+                window = [w for w, k in zip(window, keep) if k]
+                window_pts = window_pts[keep]
+        window.append(i)
+        window_pts = np.vstack([window_pts, p])
+    return np.array(window, dtype=np.int64)

@@ -1,0 +1,74 @@
+"""Skyline cardinality estimation (the role of the paper's citation [4]).
+
+Chaudhuri et al. "estimate the cardinality of (constrained) skylines in a
+DBMS and can be used to assess which skyline algorithm to apply in the
+naive approach" (paper Section 2).  This module provides the classical
+estimator for statistically independent dimensions plus a small advisor.
+
+For ``n`` i.i.d. points with continuous independent coordinates, the
+expected number of skyline (minima) points satisfies the classic recurrence
+
+    V(n, 1) = 1,        V(n, d) = sum_{k=1..n} V(k, d-1) / k,
+
+which evaluates to generalized harmonic sums: ``V(n, 2) = H_n ~ ln n`` and
+in general ``V(n, d) ~ (ln n)^(d-1) / (d-1)!``.  Correlated data has far
+smaller skylines and anti-correlated far larger ones; the estimator is the
+independent-case reference the paper's Figure 5 intuition is built on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def expected_skyline_size(n: int, ndim: int) -> float:
+    """Return the expected skyline size of ``n`` i.i.d. independent points.
+
+    Exact evaluation of the harmonic recurrence in O(n * ndim) vectorized
+    work; use :func:`expected_skyline_size_asymptotic` for very large ``n``.
+    """
+    if n < 0 or ndim < 1:
+        raise ValueError("n must be non-negative and ndim positive")
+    if n == 0:
+        return 0.0
+    if ndim == 1:
+        return 1.0
+    inv_k = 1.0 / np.arange(1, n + 1)
+    level = np.ones(n)  # V(k, 1) for k = 1..n
+    for _ in range(ndim - 1):
+        level = np.cumsum(level * inv_k)
+    return float(level[-1])
+
+
+def expected_skyline_size_asymptotic(n: int, ndim: int) -> float:
+    """Return the asymptotic estimate ``(ln n)^(d-1) / (d-1)!``."""
+    if n < 0 or ndim < 1:
+        raise ValueError("n must be non-negative and ndim positive")
+    if n <= 1:
+        return float(min(n, 1))
+    return math.log(n) ** (ndim - 1) / math.factorial(ndim - 1)
+
+
+def constrained_skyline_estimate(
+    n: int, ndim: int, selectivity: float
+) -> float:
+    """Estimate ``|Sky(S, C)|`` for a constraint region keeping a fraction
+    ``selectivity`` of independent data: the skyline of the constrained
+    subset behaves like the skyline of ``n * selectivity`` points."""
+    if not 0.0 <= selectivity <= 1.0:
+        raise ValueError("selectivity must be within [0, 1]")
+    return expected_skyline_size(max(0, round(n * selectivity)), ndim)
+
+
+def advise_skyline_algorithm(n: int, ndim: int) -> str:
+    """Advise an in-memory algorithm for the naive plan, per [4]'s use.
+
+    A small expected skyline keeps BNL's window tiny (cheap, no sort);
+    otherwise SFS's presorting pays for itself by never revising the window.
+    """
+    if n <= 0:
+        return "bnl"
+    expected = expected_skyline_size(min(n, 1_000_000), ndim)
+    return "bnl" if expected <= 0.01 * n + 10 else "sfs"

@@ -1,0 +1,194 @@
+"""The NN (nearest-neighbour) skyline method (Kossmann et al. [15]),
+constraint-based variant.
+
+The paper's related work notes that a constraint-based version of the NN
+method was "shown in [19] to be inferior to BBS for constrained skylines";
+implementing it lets the benchmark suite reproduce that comparison as well.
+
+Algorithm ("shooting stars"): the point with the minimal coordinate sum
+inside a region is always a skyline point (nothing in the region can
+dominate it).  Find it with a nearest-neighbour search on the R-tree, then
+partition the region into ``d`` subregions that each exclude the found
+point's dominance region (subregion ``i`` caps dimension ``i`` strictly
+below the point), and recurse on a work queue of regions until all are
+empty.  Subregions overlap, so the same skyline point can be discovered
+repeatedly -- results are deduplicated by row id, which is the method's
+well-known inefficiency: every NN query restarts from the R-tree root and
+overlapping regions are searched many times, which is exactly why BBS
+dominates it.
+
+Exact coordinate duplicates of a found point fall in no subregion, so each
+NN hit is followed by a point-lookup collecting all duplicates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.box import Box
+from repro.geometry.constraints import Constraints
+from repro.index.rtree import RTree
+from repro.stats import QueryOutcome, Stopwatch
+from repro.storage.costmodel import DiskCostModel
+
+
+@dataclass
+class NNResult:
+    """Skyline points plus the method's R-tree work."""
+
+    skyline: np.ndarray
+    nodes_accessed: int
+    nn_queries: int
+    regions_processed: int
+
+
+def nn_constrained_skyline(
+    tree: RTree, constraints: Optional[Constraints] = None
+) -> NNResult:
+    """Run the constraint-based NN method over an R-tree of points."""
+    ndim = tree.ndim
+    if constraints is None:
+        lo = np.full(ndim, -np.inf)
+        hi = np.full(ndim, np.inf)
+        root_box = Box.universe(ndim)
+    else:
+        if constraints.ndim != ndim:
+            raise ValueError("constraints dimensionality does not match the tree")
+        root_box = constraints.region()
+
+    nodes_accessed = 0
+    nn_queries = 0
+    regions = 0
+    found_rows: dict[int, np.ndarray] = {}
+    queue: List[Box] = [root_box]
+
+    while queue:
+        box = queue.pop()
+        regions += 1
+        nn_queries += 1
+        hit, accessed = _nearest_in_box(tree, box)
+        nodes_accessed += accessed
+        if hit is None:
+            continue
+        point, rowid = hit
+        if rowid not in found_rows:
+            found_rows[rowid] = point
+            dup_ids, accessed = _duplicates_in_box(tree, box, point)
+            nodes_accessed += accessed
+            for dup in dup_ids:
+                found_rows.setdefault(int(dup), point)
+        for i in range(ndim):
+            sub = box.replace(
+                i, _strictly_below(point[i])
+            )
+            if not sub.is_empty():
+                queue.append(sub)
+
+    if found_rows:
+        skyline = np.array(list(found_rows.values()))
+    else:
+        skyline = np.empty((0, ndim))
+    return NNResult(
+        skyline=skyline,
+        nodes_accessed=nodes_accessed,
+        nn_queries=nn_queries,
+        regions_processed=regions,
+    )
+
+
+def _strictly_below(value: float):
+    from repro.geometry.interval import Interval
+
+    return Interval(-np.inf, float(value), lo_open=True, hi_open=True)
+
+
+def _nearest_in_box(
+    tree: RTree, box: Box
+) -> Tuple[Optional[Tuple[np.ndarray, int]], int]:
+    """Best-first search for the minimal-coordinate-sum point inside ``box``.
+
+    Returns ``((point, rowid), nodes_accessed)`` or ``(None, accessed)``.
+    """
+    lo = box.lo()
+    accessed = 0
+    tiebreak = itertools.count()
+    heap: list = []
+
+    def push_node(node):
+        mindist = float(np.maximum(node.lo, lo).sum())
+        heapq.heappush(heap, (mindist, next(tiebreak), node, None, None))
+
+    root = tree.root
+    if root.lo is not None:
+        push_node(root)
+    while heap:
+        _, _, node, point, rowid = heapq.heappop(heap)
+        if point is not None:
+            return (point, rowid), accessed
+        accessed += 1
+        if node.is_leaf:
+            inside = box.mask(node.entry_lo)
+            for i in np.flatnonzero(inside):
+                p = node.entry_lo[i]
+                heapq.heappush(
+                    heap,
+                    (float(p.sum()), next(tiebreak), None, p, int(node.payloads[i])),
+                )
+        else:
+            for child in node.children:
+                child_box = Box.closed(child.lo, child.hi)
+                if box.overlaps(child_box):
+                    push_node(child)
+    return None, accessed
+
+
+def _duplicates_in_box(
+    tree: RTree, box: Box, point: np.ndarray
+) -> Tuple[np.ndarray, int]:
+    """Return all row ids at exactly ``point`` (they are skyline together)."""
+    before = tree.nodes_accessed
+    ids = tree.search(point, point)
+    return np.asarray(ids, dtype=np.int64), tree.nodes_accessed - before
+
+
+class NNMethod:
+    """Query-method wrapper around the NN method for the harness."""
+
+    name = "NN"
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        cost_model: Optional[DiskCostModel] = None,
+        max_entries: int = 128,
+        tree: Optional[RTree] = None,
+    ):
+        self.cost_model = cost_model or DiskCostModel()
+        if tree is None:
+            tree = RTree.bulk_load_points(
+                np.asarray(data, dtype=float), max_entries=max_entries
+            )
+        self.tree = tree
+
+    def query(self, constraints: Constraints) -> QueryOutcome:
+        """Answer one constrained skyline query."""
+        watch = Stopwatch()
+        with watch.stage("fetch_wall"):
+            result = nn_constrained_skyline(self.tree, constraints)
+        io_ms = result.nodes_accessed * self.cost_model.fetch_cost_ms(1, 1)
+        watch.timings.fetch_io_ms = io_ms
+        outcome = QueryOutcome(
+            skyline=result.skyline,
+            method=self.name,
+            timings=watch.timings,
+            nodes_accessed=result.nodes_accessed,
+        )
+        outcome.io.pages_read = result.nodes_accessed
+        outcome.io.seeks = result.nodes_accessed
+        outcome.io.simulated_io_ms = io_ms
+        return outcome

@@ -1,0 +1,45 @@
+"""Brute-force skyline, the executable form of Definition 1.
+
+Quadratic in the input size; used as the test oracle that every other
+algorithm (BNL, SFS, BBS, CBCS) must agree with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def brute_force_skyline(points: np.ndarray) -> np.ndarray:
+    """Return the indices of the skyline rows of ``points``.
+
+    A row is in the skyline iff no other row dominates it.  Exact coordinate
+    duplicates dominate neither each other nor themselves, so all copies of
+    an undominated point are returned (standard skyline semantics).
+    """
+    points = np.asarray(points, dtype=float)
+    n = len(points)
+    keep = np.ones(n, dtype=bool)
+    for i in range(n):
+        p = points[i]
+        le = np.all(points <= p, axis=1)
+        lt = np.any(points < p, axis=1)
+        if np.any(le & lt):
+            keep[i] = False
+    return np.flatnonzero(keep)
+
+
+def is_skyline(points: np.ndarray, candidate: np.ndarray) -> bool:
+    """Return True if ``candidate`` rows are exactly the skyline of
+    ``points`` (as multisets of coordinates)."""
+    points = np.asarray(points, dtype=float)
+    candidate = np.asarray(candidate, dtype=float)
+    expected = points[brute_force_skyline(points)]
+    if len(expected) != len(candidate):
+        return False
+    return _same_multiset(expected, candidate)
+
+
+def _same_multiset(a: np.ndarray, b: np.ndarray) -> bool:
+    a_sorted = a[np.lexsort(a.T[::-1])]
+    b_sorted = b[np.lexsort(b.T[::-1])]
+    return bool(np.array_equal(a_sorted, b_sorted))

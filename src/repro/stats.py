@@ -1,0 +1,102 @@
+"""Per-query statistics shared by every query method.
+
+The paper's evaluation reports, besides end-to-end running time, a
+per-stage breakdown (Figure 10: processing / fetching / skyline
+computation), points read from disk (Figure 8), and range queries generated
+versus range queries that actually read data (Figure 9).  Every method in
+this library -- Baseline, BBS and CBCS -- returns a :class:`QueryOutcome`
+carrying exactly those quantities so the benchmark harness can regenerate
+each figure from a uniform record.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.storage.pager import IOStats
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock and simulated-latency breakdown of one query.
+
+    - ``processing_ms``: main-memory selection/decomposition of range
+      queries (cache search, MPR computation) -- Figure 10's first stage;
+    - ``fetch_io_ms``: simulated disk latency of all fetches;
+    - ``fetch_wall_ms``: CPU time spent executing the fetches in-process;
+    - ``skyline_ms``: the skyline-algorithm stage.
+    """
+
+    processing_ms: float = 0.0
+    fetch_io_ms: float = 0.0
+    fetch_wall_ms: float = 0.0
+    skyline_ms: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end simulated response time of the query."""
+        return (
+            self.processing_ms
+            + self.fetch_io_ms
+            + self.fetch_wall_ms
+            + self.skyline_ms
+        )
+
+
+@dataclass
+class QueryOutcome:
+    """Everything one query produced: the skyline and the cost evidence."""
+
+    skyline: np.ndarray
+    method: str
+    timings: StageTimings = field(default_factory=StageTimings)
+    io: IOStats = field(default_factory=IOStats)
+    case: Optional[str] = None  # CBCS overlap case label, None otherwise
+    stable: Optional[bool] = None  # CBCS stability of the used cache item
+    cache_hit: bool = False
+    nodes_accessed: int = 0  # BBS R-tree node reads
+
+    @property
+    def skyline_size(self) -> int:
+        return len(self.skyline)
+
+    @property
+    def total_ms(self) -> float:
+        return self.timings.total_ms
+
+    @property
+    def points_read(self) -> int:
+        return self.io.points_read
+
+    @property
+    def range_queries(self) -> int:
+        return self.io.range_queries
+
+    @property
+    def nonempty_queries(self) -> int:
+        return self.io.range_queries - self.io.empty_queries
+
+
+class Stopwatch:
+    """Accumulates wall-clock milliseconds into named stages."""
+
+    def __init__(self) -> None:
+        self.timings = StageTimings()
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a block and add it to ``timings.<name>_ms``."""
+        attr = f"{name}_ms"
+        if not hasattr(self.timings, attr):
+            raise ValueError(f"unknown stage {name!r}")
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            setattr(self.timings, attr, getattr(self.timings, attr) + elapsed_ms)

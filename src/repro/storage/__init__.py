@@ -1,0 +1,22 @@
+"""Simulated disk-resident storage.
+
+The paper evaluates against data "stored in PostgreSQL 9.1.13 with each
+dimension indexed by a standard B-tree" (Section 7).  This subpackage
+reproduces that substrate in-process:
+
+- :class:`~repro.storage.table.DiskTable` -- a heap file of points split into
+  fixed-size pages, with one :class:`~repro.index.btree.BPlusTree` per
+  dimension and a simple range-query planner;
+- :class:`~repro.storage.costmodel.DiskCostModel` -- charges simulated
+  latency for seeks and page reads so that experiments expose the paper's
+  dominant cost (random access to fetch points) without real spinning rust;
+- :class:`~repro.storage.pager.IOStats` -- counters for range queries,
+  empty queries, seeks, pages and points read, matching the quantities
+  reported in the paper's Figures 8 and 9.
+"""
+
+from repro.storage.costmodel import DiskCostModel
+from repro.storage.pager import IOStats
+from repro.storage.table import DiskTable, RangeResult
+
+__all__ = ["DiskCostModel", "DiskTable", "IOStats", "RangeResult"]

@@ -1,0 +1,5 @@
+"""Query workload generation (paper Section 7.1)."""
+
+from repro.workload.generator import WorkloadGenerator
+
+__all__ = ["WorkloadGenerator"]

@@ -1,0 +1,153 @@
+"""Constrained-skyline query workloads (paper Section 7.1).
+
+"Existing constrained skyline work does not study sets of queries, but only
+single queries.  We therefore construct a query generator mimicking
+interactive search patterns":
+
+- the **initial query** of a session places each dimension's lower and upper
+  constraint "randomly between 0 and 3 standard deviations from the mean of
+  dimension i, modeling that, for example, average-sized houses are most
+  likely to be searched";
+- each **refinement** picks a random dimension, picks increase/decrease of
+  the lower/upper constraint at random, and moves that bound by 5-10% (of
+  the constraint interval's current width, in our reading); a session issues
+  1-10 refinements after its initial query.
+
+Two workload shapes are produced, matching the paper's:
+
+1. *Interactive exploratory search*: sessions of an initial query followed by
+   its refinement chain (``exploratory_sessions`` /
+   ``exploratory_stream``).
+2. *Independent queries*: a stream of initial queries only
+   (``independent_queries``), modelling unrelated users of a multi-user
+   system.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.geometry.constraints import Constraints
+
+Rng = Union[int, np.random.Generator, None]
+
+
+class WorkloadGenerator:
+    """Generates constraint queries shaped like the paper's workloads."""
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        seed: Rng = None,
+        min_width_fraction: float = 0.01,
+    ):
+        """``data`` supplies the per-dimension means/deviations and domain
+        that anchor query placement; it is not otherwise consumed."""
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2 or len(data) == 0:
+            raise ValueError("data must be a non-empty (n, d) array")
+        self.mean = data.mean(axis=0)
+        self.std = data.std(axis=0)
+        self.domain_lo = data.min(axis=0)
+        self.domain_hi = data.max(axis=0)
+        self.ndim = data.shape[1]
+        self.min_width = np.maximum(
+            (self.domain_hi - self.domain_lo) * min_width_fraction, 1e-12
+        )
+        self._rng = (
+            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        )
+
+    # ------------------------------------------------------------------
+    # Single queries
+    # ------------------------------------------------------------------
+    def initial_query(self) -> Constraints:
+        """Return a fresh query with bounds within 0-3 sigma of each mean."""
+        rng = self._rng
+        lo = np.empty(self.ndim)
+        hi = np.empty(self.ndim)
+        for i in range(self.ndim):
+            if self.domain_hi[i] - self.domain_lo[i] <= 0 or self.std[i] <= 0:
+                # Degenerate/constant dimension: the only sensible
+                # constraint is the whole (single-point) domain.
+                lo[i], hi[i] = self.domain_lo[i], self.domain_hi[i]
+                continue
+            while True:
+                offsets = rng.uniform(0.0, 3.0 * self.std[i], size=2)
+                offsets *= rng.choice([-1.0, 1.0], size=2)
+                a, b = np.sort(self.mean[i] + offsets)
+                a = float(np.clip(a, self.domain_lo[i], self.domain_hi[i]))
+                b = float(np.clip(b, self.domain_lo[i], self.domain_hi[i]))
+                if b - a >= self.min_width[i]:
+                    lo[i], hi[i] = a, b
+                    break
+        return Constraints(lo, hi)
+
+    def refine(self, query: Constraints) -> Constraints:
+        """Return one incremental change of ``query``: 5-10% movement of a
+        random bound of a random dimension."""
+        rng = self._rng
+        dim = int(rng.integers(self.ndim))
+        width = float(query.hi[dim] - query.lo[dim])
+        step = float(rng.uniform(0.05, 0.10)) * max(width, self.min_width[dim])
+        move_lower = bool(rng.random() < 0.5)
+        increase = bool(rng.random() < 0.5)
+        delta = step if increase else -step
+        if move_lower:
+            new_lo = float(
+                np.clip(
+                    query.lo[dim] + delta,
+                    self.domain_lo[dim],
+                    query.hi[dim] - self.min_width[dim],
+                )
+            )
+            return query.with_bound(dim, lower=min(new_lo, float(query.hi[dim])))
+        new_hi = float(
+            np.clip(
+                query.hi[dim] + delta,
+                query.lo[dim] + self.min_width[dim],
+                self.domain_hi[dim],
+            )
+        )
+        return query.with_bound(dim, upper=max(new_hi, float(query.lo[dim])))
+
+    # ------------------------------------------------------------------
+    # Workloads
+    # ------------------------------------------------------------------
+    def session(self) -> List[Constraints]:
+        """Return one exploratory session: an initial query plus 1-10
+        refinements, each derived from the previous query."""
+        queries = [self.initial_query()]
+        for _ in range(int(self._rng.integers(1, 11))):
+            queries.append(self.refine(queries[-1]))
+        return queries
+
+    def exploratory_stream(self, n_queries: int) -> List[Constraints]:
+        """Return ``n_queries`` queries from back-to-back sessions."""
+        out: List[Constraints] = []
+        while len(out) < n_queries:
+            out.extend(self.session())
+        return out[:n_queries]
+
+    def exploratory_sessions(
+        self, n_sessions: int, queries_per_session: int
+    ) -> List[List[Constraints]]:
+        """Return ``n_sessions`` independent streams of the given length --
+        the paper's "5 independent sets of 100 queries" (Section 7.1)."""
+        return [
+            self.exploratory_stream(queries_per_session) for _ in range(n_sessions)
+        ]
+
+    def independent_queries(self, n: int) -> List[Constraints]:
+        """Return ``n`` unrelated initial queries (multi-user workload)."""
+        return [self.initial_query() for _ in range(n)]
+
+    def iter_refinements(self, start: Optional[Constraints] = None) -> Iterator[Constraints]:
+        """Yield an endless refinement chain (first the initial query)."""
+        query = start or self.initial_query()
+        yield query
+        while True:
+            query = self.refine(query)
+            yield query

@@ -1,0 +1,28 @@
+"""Tests for the ``python -m repro.bench`` command-line entry point."""
+
+from repro.bench.__main__ import main
+
+
+class TestCli:
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_selected_experiment_runs(self, capsys):
+        assert main(["fig11a"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11a" in out
+        assert "Random" in out
+        assert "scale=quick" in out
+
+    def test_json_dump(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "out.json"
+        assert main(["--json", str(path), "fig11a"]) == 0
+        data = json.loads(path.read_text())
+        assert data["scale"] == "quick"
+        assert "Random" in data["figures"]["fig11a"]["series"]
+
+    def test_json_without_path(self, capsys):
+        assert main(["--json"]) == 2

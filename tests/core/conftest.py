@@ -1,0 +1,34 @@
+"""Shared fixtures and oracles for the core tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.constraints import Constraints
+from repro.skyline.reference import brute_force_skyline
+
+
+def constrained_skyline_oracle(data: np.ndarray, c: Constraints) -> np.ndarray:
+    """Brute-force ``Sky(S, C)``: the ground truth for everything."""
+    inside = data[c.satisfied_mask(data)]
+    return inside[brute_force_skyline(inside)]
+
+
+def canonical(points: np.ndarray) -> np.ndarray:
+    """Rows sorted lexicographically, for order-insensitive comparison."""
+    points = np.asarray(points, dtype=float)
+    if len(points) == 0:
+        return points
+    return points[np.lexsort(points.T[::-1])]
+
+
+def assert_same_point_set(got: np.ndarray, expected: np.ndarray, context: str = ""):
+    got_c, exp_c = canonical(got), canonical(expected)
+    assert got_c.shape == exp_c.shape, (
+        f"{context}: got {got_c.shape[0]} points, expected {exp_c.shape[0]}"
+    )
+    np.testing.assert_allclose(got_c, exp_c, err_msg=context)
+
+
+def random_constraints(rng: np.random.Generator, ndim: int) -> Constraints:
+    bounds = np.sort(rng.uniform(0.0, 1.0, size=(2, ndim)), axis=0)
+    return Constraints(bounds[0], bounds[1])

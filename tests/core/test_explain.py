@@ -1,0 +1,78 @@
+"""Tests for the engine's dry-run EXPLAIN interface."""
+
+import numpy as np
+import pytest
+
+from repro.core.cbcs import CBCS
+from repro.data.generator import generate
+from repro.geometry.constraints import Constraints
+from repro.storage.table import DiskTable
+
+
+@pytest.fixture()
+def engine():
+    data = generate("independent", 2000, 3, seed=42)
+    return CBCS(DiskTable(data))
+
+
+class TestExplain:
+    def test_miss_plan(self, engine):
+        c = Constraints([0.2] * 3, [0.8] * 3)
+        plan = engine.explain(c)
+        assert plan.case == "miss"
+        assert not plan.cache_hit
+        assert plan.range_queries == 1
+        assert plan.estimated_points > 0
+        assert "no cache item" in plan.summary()
+
+    def test_explain_does_not_touch_disk_or_cache(self, engine):
+        c = Constraints([0.2] * 3, [0.8] * 3)
+        io_before = engine.table.stats.snapshot()
+        hits, misses = engine.cache.hits, engine.cache.misses
+        engine.explain(c)
+        delta = engine.table.stats.delta_since(io_before)
+        assert delta.range_queries == 0
+        assert delta.points_read == 0
+        assert (engine.cache.hits, engine.cache.misses) == (hits, misses)
+        assert len(engine.cache) == 0
+
+    def test_exact_plan(self, engine):
+        c = Constraints([0.2] * 3, [0.8] * 3)
+        engine.query(c)
+        plan = engine.explain(Constraints(c.lo, c.hi))
+        assert plan.case == "exact"
+        assert plan.range_queries == 0
+        assert plan.reusable_points > 0
+
+    def test_refinement_plan_matches_execution(self, engine):
+        first = Constraints([0.2] * 3, [0.8] * 3)
+        engine.query(first)
+        refined = Constraints([0.2] * 3, [0.8, 0.8, 0.85])
+        plan = engine.explain(refined)
+        assert plan.case == "case_c"
+        assert plan.cache_hit
+        outcome = engine.query(refined)
+        assert outcome.case == plan.case
+        assert outcome.range_queries == plan.range_queries
+        # the estimate bounds the fetch (most-selective-dim upper bound)
+        assert outcome.points_read <= plan.estimated_points
+
+    def test_case_b_plan_reads_nothing(self, engine):
+        first = Constraints([0.2] * 3, [0.8] * 3)
+        engine.query(first)
+        plan = engine.explain(Constraints([0.2] * 3, [0.8, 0.8, 0.7]))
+        assert plan.case == "case_b"
+        assert plan.range_queries == 0
+        assert plan.estimated_points == 0
+
+    def test_dimension_validation(self, engine):
+        with pytest.raises(ValueError):
+            engine.explain(Constraints([0.0], [1.0]))
+
+    def test_summary_for_hit(self, engine):
+        c = Constraints([0.2] * 3, [0.8] * 3)
+        engine.query(c)
+        plan = engine.explain(Constraints([0.2] * 3, [0.8, 0.8, 0.85]))
+        text = plan.summary()
+        assert "case=case_c" in text
+        assert "item #" in text

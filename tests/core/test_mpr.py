@@ -1,0 +1,284 @@
+"""Property tests for the Missing Points Region (Definition 5, Thms. 6-7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ampr import ApproximateMPR, ExactMPR, nearest_to_corner
+from repro.core.mpr import compute_mpr
+from repro.data.generator import generate
+from repro.geometry.box import pairwise_disjoint, union_mask
+from repro.geometry.constraints import Constraints
+from repro.skyline.sfs import sfs_skyline
+
+from tests.core.conftest import (
+    assert_same_point_set,
+    constrained_skyline_oracle,
+    random_constraints,
+)
+
+
+def merge_and_solve(mpr, data):
+    """Apply Theorem 6: Sky((surviving) + (MPR points), C') -- the caller
+    has already restricted the MPR mask to the data."""
+    fetched = data[union_mask(mpr.boxes, data)]
+    pool = np.vstack([mpr.surviving, fetched]) if len(mpr.surviving) else fetched
+    if len(pool) == 0:
+        return pool
+    return pool[sfs_skyline(pool)]
+
+
+def constraint_pair(rng, ndim):
+    old = random_constraints(rng, ndim)
+    new = random_constraints(rng, ndim)
+    return old, new
+
+
+class TestCompleteness:
+    """Theorem 6: merging surviving + MPR points reproduces the skyline."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("ndim", [2, 3, 4])
+    def test_random_pairs(self, seed, ndim):
+        rng = np.random.default_rng(seed)
+        data = generate("independent", 200, ndim, seed=seed)
+        old, new = constraint_pair(rng, ndim)
+        old_sky = constrained_skyline_oracle(data, old)
+        mpr = compute_mpr(old, old_sky, new)
+        result = merge_and_solve(mpr, data)
+        assert_same_point_set(
+            result,
+            constrained_skyline_oracle(data, new),
+            context=f"seed={seed} ndim={ndim} stable={mpr.stable}",
+        )
+
+    @pytest.mark.parametrize(
+        "distribution", ["correlated", "anticorrelated"]
+    )
+    def test_skewed_distributions(self, distribution):
+        rng = np.random.default_rng(99)
+        data = generate(distribution, 300, 3, seed=8)
+        for _ in range(8):
+            old, new = constraint_pair(rng, 3)
+            old_sky = constrained_skyline_oracle(data, old)
+            mpr = compute_mpr(old, old_sky, new)
+            assert_same_point_set(
+                merge_and_solve(mpr, data),
+                constrained_skyline_oracle(data, new),
+            )
+
+    def test_with_exact_duplicates(self):
+        """Closed-corner subtraction must not lose duplicate skyline points."""
+        rng = np.random.default_rng(3)
+        base = generate("independent", 100, 2, seed=3)
+        data = np.vstack([base, base[:30]])  # 30 exact duplicates
+        for _ in range(10):
+            old, new = constraint_pair(rng, 2)
+            old_sky = constrained_skyline_oracle(data, old)
+            mpr = compute_mpr(old, old_sky, new)
+            assert_same_point_set(
+                merge_and_solve(mpr, data),
+                constrained_skyline_oracle(data, new),
+            )
+
+    def test_disjoint_regions_fetch_everything(self):
+        data = generate("independent", 100, 2, seed=4)
+        old = Constraints([0.0, 0.0], [0.2, 0.2])
+        new = Constraints([0.5, 0.5], [0.9, 0.9])
+        old_sky = constrained_skyline_oracle(data, old)
+        mpr = compute_mpr(old, old_sky, new)
+        assert mpr.stable
+        assert len(mpr.boxes) == 1
+        assert mpr.boxes[0] == new.region()
+
+    def test_empty_cached_skyline(self):
+        old = Constraints([0.0, 0.0], [0.1, 0.1])
+        new = Constraints([0.05, 0.05], [0.5, 0.5])
+        mpr = compute_mpr(old, np.empty((0, 2)), new)
+        data = generate("independent", 100, 2, seed=5)
+        assert_same_point_set(
+            merge_and_solve(mpr, data), constrained_skyline_oracle(data, new)
+        )
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            compute_mpr(
+                Constraints([0.0], [1.0]),
+                np.empty((0, 1)),
+                Constraints([0, 0], [1, 1]),
+            )
+        with pytest.raises(ValueError):
+            compute_mpr(
+                Constraints([0, 0], [1, 1]),
+                np.zeros((2, 3)),
+                Constraints([0, 0], [1, 1]),
+            )
+
+
+class TestStructure:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_boxes_pairwise_disjoint(self, seed):
+        rng = np.random.default_rng(seed + 100)
+        data = generate("independent", 150, 3, seed=seed)
+        old, new = constraint_pair(rng, 3)
+        old_sky = constrained_skyline_oracle(data, old)
+        mpr = compute_mpr(old, old_sky, new)
+        assert pairwise_disjoint(mpr.boxes)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_boxes_inside_new_region(self, seed):
+        rng = np.random.default_rng(seed + 200)
+        data = generate("independent", 150, 3, seed=seed)
+        old, new = constraint_pair(rng, 3)
+        old_sky = constrained_skyline_oracle(data, old)
+        mpr = compute_mpr(old, old_sky, new)
+        region = new.region()
+        for box in mpr.boxes:
+            assert region.contains_box(box)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_minimality_witness(self, seed):
+        """Theorem 7's witness property: no surviving cached skyline point
+        dominates any part of the MPR -- i.e. subtracting their dominance
+        regions again changes nothing."""
+        rng = np.random.default_rng(seed + 300)
+        data = generate("independent", 150, 3, seed=seed)
+        old, new = constraint_pair(rng, 3)
+        old_sky = constrained_skyline_oracle(data, old)
+        mpr = compute_mpr(old, old_sky, new)
+        from repro.geometry.box import Box
+
+        for u in mpr.surviving:
+            corner = Box.corner_at_least(u)
+            for box in mpr.boxes:
+                inter = box.intersect(corner)
+                assert inter.is_empty() or inter.volume() == 0.0
+
+    def test_stable_case_has_no_invalidated_boxes(self):
+        old = Constraints([0.3, 0.3], [0.7, 0.7])
+        new = Constraints([0.2, 0.3], [0.8, 0.7])  # lower down + upper up
+        sky = np.array([[0.4, 0.4]])
+        mpr = compute_mpr(old, sky, new)
+        assert mpr.stable
+        assert mpr.invalidated_boxes == []
+
+    def test_unstable_case_reports_invalidated_boxes(self):
+        old = Constraints([0.0, 0.0], [1.0, 1.0])
+        new = Constraints([0.2, 0.0], [1.0, 1.0])
+        sky = np.array([[0.1, 0.1]])  # expelled dominator
+        mpr = compute_mpr(old, sky, new)
+        assert not mpr.stable
+        assert len(mpr.invalidated_boxes) > 0
+
+    def test_shrinking_stable_query_has_empty_mpr(self):
+        """Case b shape: pure shrink of a stable item needs no fetching."""
+        old = Constraints([0.0, 0.0], [1.0, 1.0])
+        new = Constraints([0.0, 0.0], [0.6, 0.6])
+        sky = np.array([[0.2, 0.3], [0.3, 0.2]])
+        mpr = compute_mpr(old, sky, new)
+        assert mpr.boxes == []
+
+
+class TestApproximateMPR:
+    @pytest.mark.parametrize("k", [1, 3, 6])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_ampr_is_superset_of_mpr(self, k, seed):
+        """No false negatives: every dataset point in the exact MPR is also
+        covered by the aMPR boxes."""
+        rng = np.random.default_rng(seed + 400)
+        data = generate("independent", 200, 3, seed=seed)
+        old, new = constraint_pair(rng, 3)
+        old_sky = constrained_skyline_oracle(data, old)
+        exact = ExactMPR().compute(old, old_sky, new)
+        approx = ApproximateMPR(k=k).compute(old, old_sky, new)
+        in_exact = union_mask(exact.boxes, data)
+        in_approx = union_mask(approx.boxes, data)
+        assert not np.any(in_exact & ~in_approx)
+
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_ampr_completeness(self, k, seed):
+        rng = np.random.default_rng(seed + 500)
+        data = generate("independent", 200, 3, seed=seed + 50)
+        old, new = constraint_pair(rng, 3)
+        old_sky = constrained_skyline_oracle(data, old)
+        mpr = ApproximateMPR(k=k).compute(old, old_sky, new)
+        assert_same_point_set(
+            merge_and_solve(mpr, data), constrained_skyline_oracle(data, new)
+        )
+
+    def test_fewer_boxes_than_exact_in_higher_dims(self):
+        data = generate("independent", 400, 5, seed=9)
+        old = Constraints([0.1] * 5, [0.9] * 5)
+        new = Constraints([0.15] * 5, [0.95] * 5)
+        old_sky = constrained_skyline_oracle(data, old)
+        exact = ExactMPR().compute(old, old_sky, new)
+        approx = ApproximateMPR(k=1).compute(old, old_sky, new)
+        assert len(approx.boxes) < len(exact.boxes)
+
+    def test_more_nns_prune_more(self):
+        """Larger k never covers more data than smaller k."""
+        data = generate("independent", 400, 4, seed=10)
+        old = Constraints([0.1] * 4, [0.8] * 4)
+        new = Constraints([0.1] * 4, [0.9] * 4)
+        old_sky = constrained_skyline_oracle(data, old)
+        covered = {}
+        for k in [1, 3, 10]:
+            mpr = ApproximateMPR(k=k).compute(old, old_sky, new)
+            covered[k] = int(union_mask(mpr.boxes, data).sum())
+        assert covered[10] <= covered[3] <= covered[1]
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            ApproximateMPR(k=0)
+
+    def test_name(self):
+        assert ApproximateMPR(k=3).name == "aMPR(3NN)"
+        assert ExactMPR().name == "MPR"
+
+    def test_nearest_to_corner(self):
+        pts = np.array([[0.9, 0.9], [0.1, 0.1], [0.5, 0.5]])
+        got = nearest_to_corner(pts, np.array([0.0, 0.0]), 1)
+        np.testing.assert_array_equal(got, [[0.1, 0.1]])
+
+    def test_nearest_to_corner_k_larger_than_points(self):
+        pts = np.array([[0.9, 0.9]])
+        got = nearest_to_corner(pts, np.zeros(2), 5)
+        assert len(got) == 1
+
+
+class TestMPRGeometry:
+    """Figure 4: complexity of the MPR grows with dimensionality."""
+
+    def test_2d_single_expansion_is_one_box_per_pruner_cut(self):
+        old = Constraints([0.0, 0.0], [0.5, 1.0])
+        new = Constraints([0.0, 0.0], [0.7, 1.0])
+        sky = np.array([[0.1, 0.2]])
+        mpr = compute_mpr(old, sky, new)
+        # Delta C minus one corner region stays a small number of rectangles
+        assert 1 <= len(mpr.boxes) <= 2
+
+    def test_box_count_grows_with_dimension(self):
+        counts = {}
+        for ndim in [2, 3, 4, 5]:
+            data = generate("independent", 500, ndim, seed=11)
+            old = Constraints([0.1] * ndim, [0.8] * ndim)
+            new = Constraints([0.1] * ndim, [0.9] * ndim)
+            old_sky = constrained_skyline_oracle(data, old)
+            mpr = ExactMPR().compute(old, old_sky, new)
+            counts[ndim] = len(mpr.boxes)
+        assert counts[2] < counts[3] < counts[4] < counts[5]
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_hypothesis_completeness_2d(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.uniform(0, 1, size=(80, 2))
+        old, new = constraint_pair(rng, 2)
+        old_sky = constrained_skyline_oracle(data, old)
+        mpr = compute_mpr(old, old_sky, new)
+        assert pairwise_disjoint(mpr.boxes)
+        assert_same_point_set(
+            merge_and_solve(mpr, data), constrained_skyline_oracle(data, new)
+        )

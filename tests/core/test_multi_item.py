@@ -1,0 +1,144 @@
+"""Tests for the multi-item extension (paper Section 6.3 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cbcs import CBCS
+from repro.core.multi import MultiItemMPR
+from repro.data.generator import generate
+from repro.geometry.box import pairwise_disjoint, union_mask
+from repro.geometry.constraints import Constraints
+from repro.skyline.sfs import sfs_skyline
+from repro.storage.table import DiskTable
+from repro.workload.generator import WorkloadGenerator
+
+from tests.core.conftest import (
+    assert_same_point_set,
+    constrained_skyline_oracle,
+    random_constraints,
+)
+
+
+def item_for(data, constraints):
+    inside = data[constraints.satisfied_mask(data)]
+    return constraints, inside[sfs_skyline(inside)]
+
+
+def solve(mpr, data):
+    fetched = data[union_mask(mpr.boxes, data)]
+    pool = np.vstack([mpr.surviving, fetched]) if len(mpr.surviving) else fetched
+    if len(pool) == 0:
+        return pool
+    return pool[sfs_skyline(pool)]
+
+
+class TestValidation:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MultiItemMPR(k=0)
+        with pytest.raises(ValueError):
+            MultiItemMPR(max_items=0)
+        with pytest.raises(ValueError):
+            MultiItemMPR(max_pieces=0)
+
+    def test_requires_items(self):
+        with pytest.raises(ValueError):
+            MultiItemMPR().compute_multi([], Constraints([0, 0], [1, 1]))
+
+    def test_name(self):
+        assert MultiItemMPR(k=2, max_items=4).name == "multiMPR(4x2NN)"
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("n_items", [1, 2, 3])
+    def test_random_item_sets(self, seed, n_items):
+        rng = np.random.default_rng(seed)
+        data = generate("independent", 250, 3, seed=seed)
+        items = [item_for(data, random_constraints(rng, 3)) for _ in range(n_items)]
+        new = random_constraints(rng, 3)
+        mpr = MultiItemMPR(k=2, max_items=n_items).compute_multi(items, new)
+        assert pairwise_disjoint(mpr.boxes)
+        assert_same_point_set(
+            solve(mpr, data),
+            constrained_skyline_oracle(data, new),
+            context=f"seed={seed} items={n_items}",
+        )
+
+    def test_duplicate_rows_across_items(self):
+        """Two items caching the same duplicated skyline rows must not
+        double-count them in the merged pool."""
+        base = generate("independent", 150, 2, seed=4)
+        data = np.vstack([base, base[:40]])
+        c1 = Constraints([0.0, 0.0], [0.7, 0.9])
+        c2 = Constraints([0.0, 0.0], [0.9, 0.7])
+        items = [item_for(data, c1), item_for(data, c2)]
+        new = Constraints([0.0, 0.0], [0.8, 0.8])
+        mpr = MultiItemMPR(k=3, max_items=2).compute_multi(items, new)
+        assert_same_point_set(solve(mpr, data), constrained_skyline_oracle(data, new))
+
+    def test_unstable_items(self):
+        rng = np.random.default_rng(11)
+        data = generate("independent", 300, 2, seed=11)
+        c1 = Constraints([0.0, 0.0], [0.8, 0.8])
+        c2 = Constraints([0.1, 0.1], [0.9, 0.9])
+        items = [item_for(data, c1), item_for(data, c2)]
+        # raising lower bounds expels dominators from both items
+        new = Constraints([0.3, 0.2], [0.85, 0.85])
+        mpr = MultiItemMPR(k=1, max_items=2).compute_multi(items, new)
+        assert not mpr.stable
+        assert_same_point_set(solve(mpr, data), constrained_skyline_oracle(data, new))
+
+    def test_single_item_matches_compute(self):
+        data = generate("independent", 200, 2, seed=5)
+        c = Constraints([0.1, 0.1], [0.8, 0.8])
+        old, sky = item_for(data, c)
+        new = Constraints([0.1, 0.1], [0.9, 0.8])
+        computer = MultiItemMPR(k=2)
+        a = computer.compute(old, sky, new)
+        b = computer.compute_multi([(old, sky)], new)
+        assert len(a.boxes) == len(b.boxes)
+
+
+class TestSecondItemHelps:
+    def test_two_items_cover_more_than_one(self):
+        """A query straddling two cached regions fetches less with both."""
+        data = generate("independent", 2000, 2, seed=9)
+        left = item_for(data, Constraints([0.0, 0.0], [0.5, 1.0]))
+        right = item_for(data, Constraints([0.5, 0.0], [1.0, 1.0]))
+        new = Constraints([0.2, 0.0], [0.8, 1.0])
+        single = MultiItemMPR(k=3, max_items=1).compute_multi([left, right], new)
+        both = MultiItemMPR(k=3, max_items=2).compute_multi([left, right], new)
+        covered_single = int(union_mask(single.boxes, data).sum())
+        covered_both = int(union_mask(both.boxes, data).sum())
+        assert covered_both <= covered_single
+        assert covered_both < len(data[new.satisfied_mask(data)])
+        assert_same_point_set(solve(both, data), constrained_skyline_oracle(data, new))
+
+
+class TestEngineIntegration:
+    def test_cbcs_with_multi_region(self):
+        data = generate("independent", 1500, 3, seed=21)
+        table = DiskTable(data)
+        engine = CBCS(table, region_computer=MultiItemMPR(k=2, max_items=3))
+        gen = WorkloadGenerator(data, seed=8)
+        for i, c in enumerate(gen.exploratory_stream(30)):
+            out = engine.query(c)
+            assert_same_point_set(
+                out.skyline,
+                constrained_skyline_oracle(data, c),
+                context=f"query#{i} case={out.case}",
+            )
+
+    def test_multi_item_engine_on_independent_queries(self):
+        data = generate("independent", 1200, 2, seed=31)
+        engine = CBCS(
+            DiskTable(data), region_computer=MultiItemMPR(k=1, max_items=2)
+        )
+        gen = WorkloadGenerator(data, seed=13)
+        engine.warm(gen.independent_queries(25))
+        for c in gen.independent_queries(15):
+            out = engine.query(c)
+            assert_same_point_set(
+                out.skyline, constrained_skyline_oracle(data, c)
+            )

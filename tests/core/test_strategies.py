@@ -1,0 +1,155 @@
+"""Tests for the seven cache search strategies (Section 6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CacheItem, SkylineCache
+from repro.core.strategies import (
+    MaxOverlap,
+    MaxOverlapSP,
+    OptimumDistance,
+    Prioritized1D,
+    PrioritizedND,
+    RandomStrategy,
+    default_strategy_suite,
+)
+from repro.geometry.constraints import Constraints
+
+
+def item(lo, hi, item_id=0):
+    """A cache item whose skyline spans its whole constraint region."""
+    c = Constraints(lo, hi)
+    sky = np.array([c.lo, c.hi])
+    return CacheItem(
+        constraints=c,
+        skyline=sky,
+        mbr_lo=c.lo.copy(),
+        mbr_hi=c.hi.copy(),
+        item_id=item_id,
+        inserted_at=item_id,
+    )
+
+
+QUERY = Constraints([0.3, 0.3], [0.7, 0.7])
+
+
+class TestSelectContract:
+    @pytest.mark.parametrize("strategy", default_strategy_suite(seed=1))
+    def test_returns_a_candidate(self, strategy):
+        items = [item([0.2, 0.2], [0.6, 0.6], 1), item([0.4, 0.4], [0.9, 0.9], 2)]
+        assert strategy.select(QUERY, items) in items
+
+    @pytest.mark.parametrize("strategy", default_strategy_suite(seed=1))
+    def test_single_candidate(self, strategy):
+        only = item([0.0, 0.0], [1.0, 1.0], 1)
+        assert strategy.select(QUERY, [only]) is only
+
+    @pytest.mark.parametrize("strategy", default_strategy_suite(seed=1))
+    def test_empty_candidates_raise(self, strategy):
+        with pytest.raises(ValueError):
+            strategy.select(QUERY, [])
+
+
+class TestRandom:
+    def test_seeded_reproducibility(self):
+        items = [item([0.1 * i, 0.1 * i], [1.0, 1.0], i) for i in range(5)]
+        a = RandomStrategy(seed=7)
+        b = RandomStrategy(seed=7)
+        picks_a = [a.select(QUERY, items).item_id for _ in range(20)]
+        picks_b = [b.select(QUERY, items).item_id for _ in range(20)]
+        assert picks_a == picks_b
+
+    def test_spreads_over_candidates(self):
+        items = [item([0.1 * i, 0.1 * i], [1.0, 1.0], i) for i in range(5)]
+        strategy = RandomStrategy(seed=3)
+        picks = {strategy.select(QUERY, items).item_id for _ in range(100)}
+        assert len(picks) == 5
+
+
+class TestMaxOverlap:
+    def test_prefers_largest_overlap(self):
+        big = item([0.3, 0.3], [0.7, 0.7], 1)  # full overlap
+        small = item([0.6, 0.6], [0.9, 0.9], 2)  # corner overlap
+        assert MaxOverlap().select(QUERY, [small, big]) is big
+
+    def test_sp_variant_prefers_stable_over_bigger_overlap(self):
+        # unstable (its lower bounds are below the query's? No --
+        # stability of item wrt query: stable iff query.lo <= item.lo).
+        unstable_big = item([0.2, 0.2], [0.7, 0.7], 1)  # query.lo > item.lo
+        stable_small = item([0.5, 0.5], [0.9, 0.9], 2)  # query.lo <= item.lo
+        choice = MaxOverlapSP().select(QUERY, [unstable_big, stable_small])
+        assert choice is stable_small
+        # plain MaxOverlap would take the bigger overlap
+        assert MaxOverlap().select(QUERY, [unstable_big, stable_small]) is unstable_big
+
+    def test_sp_falls_back_to_overlap_among_stable(self):
+        a = item([0.3, 0.3], [0.7, 0.7], 1)
+        b = item([0.3, 0.3], [0.5, 0.5], 2)
+        assert MaxOverlapSP().select(QUERY, [a, b]) is a
+
+
+class TestPrioritized1D:
+    def test_case_priority_order(self):
+        # case b wrt query: item that the query shrinks from (upper down):
+        # classify_change(item.constraints, QUERY)
+        case_b = item([0.3, 0.3], [0.7, 0.8], 1)  # query lowers upper bound
+        case_d = item([0.2, 0.3], [0.7, 0.7], 2)  # query raises a lower bound
+        assert Prioritized1D().select(QUERY, [case_d, case_b]) is case_b
+
+    def test_exact_match_beats_everything(self):
+        exact = item([0.3, 0.3], [0.7, 0.7], 1)
+        case_b = item([0.3, 0.3], [0.7, 0.8], 2)
+        assert Prioritized1D().select(QUERY, [case_b, exact]) is exact
+
+    def test_general_stable_beats_case_d(self):
+        gen_stable = item([0.35, 0.35], [0.75, 0.75], 1)  # query widens lows
+        case_d = item([0.25, 0.3], [0.7, 0.7], 2)
+        assert Prioritized1D().select(QUERY, [case_d, gen_stable]) is gen_stable
+
+
+class TestPrioritizedND:
+    def test_std_prefers_pure_case_b_changes(self):
+        std = PrioritizedND.std()
+        # one case-b bound change (penalty 0) vs one case-d change (20)
+        b_item = item([0.3, 0.3], [0.7, 0.8], 1)
+        d_item = item([0.25, 0.3], [0.7, 0.7], 2)
+        assert std.select(QUERY, [d_item, b_item]) is b_item
+
+    def test_penalties_accumulate_across_dimensions(self):
+        std = PrioritizedND.std()
+        one_change = item([0.25, 0.3], [0.7, 0.7], 1)  # one case-d: 20
+        many_b = item([0.3, 0.3], [0.9, 0.9], 2)  # two case-b: 0
+        assert std.select(QUERY, [one_change, many_b]) is many_b
+
+    def test_bad_weights_invert_preference(self):
+        bad = PrioritizedND.bad()
+        b_item = item([0.3, 0.3], [0.7, 0.8], 1)  # case b: penalty 50
+        d_item = item([0.25, 0.3], [0.7, 0.7], 2)  # case d: penalty 0
+        assert bad.select(QUERY, [d_item, b_item]) is d_item
+
+    def test_names(self):
+        assert PrioritizedND.std().name == "PrioritizedND(10,0,5,20)"
+        assert PrioritizedND.bad().name == "PrioritizedND(10,50,30,0)"
+
+
+class TestOptimumDistance:
+    def test_prefers_closest_lower_corner(self):
+        near = item([0.31, 0.31], [0.9, 0.9], 1)
+        far = item([0.0, 0.0], [0.9, 0.9], 2)
+        assert OptimumDistance().select(QUERY, [far, near]) is near
+
+
+class TestIntegrationWithCache:
+    def test_strategy_over_real_cache_candidates(self):
+        cache = SkylineCache()
+        for i, x in enumerate([0.1, 0.3, 0.5]):
+            c = Constraints([x, x], [x + 0.4, x + 0.4])
+            sky = np.array([[x + 0.05, x + 0.35], [x + 0.35, x + 0.05]])
+            cache.insert(c, sky)
+        candidates = cache.candidates(QUERY)
+        assert candidates
+        chosen = MaxOverlap().select(QUERY, candidates)
+        best = max(
+            candidates, key=lambda it: it.constraints.overlap_volume(QUERY)
+        )
+        assert chosen is best

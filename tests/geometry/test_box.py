@@ -1,0 +1,292 @@
+"""Unit and property tests for :mod:`repro.geometry.box`."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.box import (
+    Box,
+    decompose_difference,
+    merge_aligned_boxes,
+    pairwise_disjoint,
+    total_volume,
+    union_mask,
+)
+from repro.geometry.interval import Interval
+
+
+def boxes(ndim, lo=-10.0, hi=10.0):
+    coord = st.floats(min_value=lo, max_value=hi)
+    return st.builds(
+        lambda los, his: Box.closed(
+            [min(a, b) for a, b in zip(los, his)],
+            [max(a, b) for a, b in zip(los, his)],
+        ),
+        st.lists(coord, min_size=ndim, max_size=ndim),
+        st.lists(coord, min_size=ndim, max_size=ndim),
+    )
+
+
+def points(ndim, n=32, lo=-12.0, hi=12.0):
+    return arrays(
+        np.float64,
+        (n, ndim),
+        elements=st.floats(min_value=lo, max_value=hi),
+    )
+
+
+class TestBasics:
+    def test_closed_roundtrip(self):
+        box = Box.closed([0.0, 1.0], [2.0, 3.0])
+        assert box.ndim == 2
+        np.testing.assert_array_equal(box.lo(), [0.0, 1.0])
+        np.testing.assert_array_equal(box.hi(), [2.0, 3.0])
+
+    def test_closed_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Box.closed([0.0], [1.0, 2.0])
+
+    def test_contains_point(self):
+        box = Box.closed([0.0, 0.0], [1.0, 1.0])
+        assert box.contains_point([0.5, 0.5])
+        assert box.contains_point([0.0, 1.0])
+        assert not box.contains_point([1.5, 0.5])
+
+    def test_mask_respects_open_faces(self):
+        box = Box(
+            [
+                Interval(0.0, 1.0, lo_open=True),
+                Interval.closed(0.0, 1.0),
+            ]
+        )
+        pts = np.array([[0.0, 0.5], [0.5, 0.5], [1.0, 1.0]])
+        np.testing.assert_array_equal(box.mask(pts), [False, True, True])
+
+    def test_mask_shape_validation(self):
+        box = Box.closed([0.0], [1.0])
+        with pytest.raises(ValueError):
+            box.mask(np.zeros((3, 2)))
+
+    def test_volume(self):
+        assert Box.closed([0.0, 0.0], [2.0, 3.0]).volume() == 6.0
+        assert Box.closed([0.0], [0.0]).volume() == 0.0
+
+    def test_universe_contains_everything(self):
+        u = Box.universe(3)
+        assert u.contains_point([1e9, -1e9, 0.0])
+
+    def test_corner_at_least(self):
+        corner = Box.corner_at_least([1.0, 2.0])
+        assert corner.contains_point([1.0, 2.0])
+        assert corner.contains_point([5.0, 5.0])
+        assert not corner.contains_point([0.5, 5.0])
+
+    def test_equality_and_hash(self):
+        a = Box.closed([0.0, 0.0], [1.0, 1.0])
+        b = Box.closed([0.0, 0.0], [1.0, 1.0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Box.closed([0.0, 0.0], [1.0, 2.0])
+
+    def test_ndim_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Box.closed([0.0], [1.0]).intersect(Box.closed([0.0, 0.0], [1.0, 1.0]))
+
+
+class TestSetAlgebra:
+    def test_intersect_simple(self):
+        a = Box.closed([0.0, 0.0], [2.0, 2.0])
+        b = Box.closed([1.0, 1.0], [3.0, 3.0])
+        inter = a.intersect(b)
+        np.testing.assert_array_equal(inter.lo(), [1.0, 1.0])
+        np.testing.assert_array_equal(inter.hi(), [2.0, 2.0])
+
+    def test_overlaps_touching_faces(self):
+        a = Box.closed([0.0, 0.0], [1.0, 1.0])
+        b = Box.closed([1.0, 0.0], [2.0, 1.0])
+        assert a.overlaps(b)
+
+    def test_contains_box(self):
+        outer = Box.closed([0.0, 0.0], [10.0, 10.0])
+        inner = Box.closed([1.0, 1.0], [2.0, 2.0])
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+
+    @given(boxes(2), boxes(2), points(2))
+    def test_intersection_membership(self, a, b, pts):
+        inter_mask = a.intersect(b).mask(pts)
+        np.testing.assert_array_equal(inter_mask, a.mask(pts) & b.mask(pts))
+
+
+class TestSubtractBox:
+    def test_hole_in_middle_2d(self):
+        outer = Box.closed([0.0, 0.0], [10.0, 10.0])
+        hole = Box.closed([4.0, 4.0], [6.0, 6.0])
+        pieces = outer.subtract_box(hole)
+        assert pairwise_disjoint(pieces)
+        assert math.isclose(total_volume(pieces), 100.0 - 4.0)
+
+    def test_no_overlap_returns_self(self):
+        a = Box.closed([0.0, 0.0], [1.0, 1.0])
+        b = Box.closed([5.0, 5.0], [6.0, 6.0])
+        assert a.subtract_box(b) == [a]
+
+    def test_full_cover_returns_empty(self):
+        a = Box.closed([1.0, 1.0], [2.0, 2.0])
+        b = Box.closed([0.0, 0.0], [3.0, 3.0])
+        assert a.subtract_box(b) == []
+
+    @given(boxes(3), boxes(3), points(3))
+    @settings(max_examples=60)
+    def test_partition_property(self, a, b, pts):
+        """Pieces of a \\ b plus a & b exactly tile a (point-wise)."""
+        pieces = a.subtract_box(b)
+        in_pieces = union_mask(pieces, pts)
+        in_inter = a.intersect(b).mask(pts)
+        in_a = a.mask(pts)
+        # disjoint decomposition: piece-membership and intersection-membership
+        # never overlap, and together equal membership in a.
+        assert not np.any(in_pieces & in_inter)
+        np.testing.assert_array_equal(in_pieces | in_inter, in_a)
+
+    @given(boxes(2), boxes(2))
+    @settings(max_examples=60)
+    def test_pieces_pairwise_disjoint(self, a, b):
+        assert pairwise_disjoint(a.subtract_box(b))
+
+
+class TestSubtractCorner:
+    def test_2d_corner(self):
+        box = Box.closed([0.0, 0.0], [10.0, 10.0])
+        pieces = box.subtract_corner([4.0, 6.0])
+        assert len(pieces) == 2
+        assert pairwise_disjoint(pieces)
+        # volume removed: (10-4) * (10-6) = 24
+        assert math.isclose(total_volume(pieces), 100.0 - 24.0)
+
+    def test_corner_outside_box_is_noop(self):
+        box = Box.closed([0.0, 0.0], [1.0, 1.0])
+        pieces = box.subtract_corner([5.0, 5.0])
+        assert math.isclose(total_volume(pieces), 1.0)
+
+    def test_corner_below_box_removes_all(self):
+        box = Box.closed([1.0, 1.0], [2.0, 2.0])
+        assert box.subtract_corner([0.0, 0.0]) == []
+
+    def test_piece_count_bounded_by_ndim(self):
+        box = Box.closed([0.0] * 5, [1.0] * 5)
+        pieces = box.subtract_corner([0.5] * 5)
+        assert len(pieces) <= 5
+
+    @given(
+        boxes(3),
+        st.lists(st.floats(min_value=-12, max_value=12), min_size=3, max_size=3),
+        points(3),
+    )
+    @settings(max_examples=60)
+    def test_corner_partition_property(self, box, corner, pts):
+        pieces = box.subtract_corner(corner)
+        corner_box = Box.corner_at_least(corner)
+        in_pieces = union_mask(pieces, pts)
+        in_corner = box.intersect(corner_box).mask(pts)
+        in_box = box.mask(pts)
+        assert not np.any(in_pieces & in_corner)
+        np.testing.assert_array_equal(in_pieces | in_corner, in_box)
+
+    @given(
+        boxes(2),
+        st.lists(st.floats(min_value=-12, max_value=12), min_size=2, max_size=2),
+    )
+    @settings(max_examples=60)
+    def test_corner_pieces_disjoint(self, box, corner):
+        assert pairwise_disjoint(box.subtract_corner(corner))
+
+
+class TestMergeAlignedBoxes:
+    def test_merges_abutting_halves(self):
+        a = Box([Interval(0.0, 1.0, hi_open=True), Interval.closed(0.0, 1.0)])
+        b = Box([Interval.closed(1.0, 2.0), Interval.closed(0.0, 1.0)])
+        merged = merge_aligned_boxes([a, b])
+        assert len(merged) == 1
+        assert merged[0].contains_point([1.0, 0.5])
+        assert merged[0].contains_point([0.0, 0.0])
+        assert merged[0].contains_point([2.0, 1.0])
+
+    def test_does_not_merge_with_double_covered_boundary(self):
+        a = Box.closed([0.0, 0.0], [1.0, 1.0])
+        b = Box.closed([1.0, 0.0], [2.0, 1.0])  # x=1 covered by both
+        assert len(merge_aligned_boxes([a, b])) == 2
+
+    def test_does_not_merge_with_gap(self):
+        a = Box([Interval(0.0, 1.0, hi_open=True), Interval.closed(0.0, 1.0)])
+        b = Box([Interval(1.0, 2.0, lo_open=True), Interval.closed(0.0, 1.0)])
+        assert len(merge_aligned_boxes([a, b])) == 2  # x=1.0 in neither
+
+    def test_does_not_merge_across_different_cross_sections(self):
+        a = Box([Interval(0.0, 1.0, hi_open=True), Interval.closed(0.0, 1.0)])
+        b = Box([Interval.closed(1.0, 2.0), Interval.closed(0.0, 2.0)])
+        assert len(merge_aligned_boxes([a, b])) == 2
+
+    def test_chains_of_merges(self):
+        slabs = [
+            Box([Interval(float(i), float(i + 1), hi_open=True),
+                 Interval.closed(0.0, 1.0)])
+            for i in range(5)
+        ]
+        merged = merge_aligned_boxes(slabs)
+        assert len(merged) == 1
+
+    def test_drops_empty_boxes(self):
+        empty = Box.closed([1.0, 1.0], [0.0, 0.0])
+        assert merge_aligned_boxes([empty]) == []
+
+    @given(
+        boxes(2),
+        st.lists(
+            st.tuples(st.floats(-10, 10), st.floats(-10, 10)), max_size=4
+        ),
+        points(2),
+    )
+    @settings(max_examples=60)
+    def test_merge_preserves_coverage(self, base, corners, pts):
+        """Merging a corner-subtraction tiling never changes membership."""
+        pieces = [base]
+        for corner in corners:
+            pieces = [
+                p for piece in pieces for p in piece.subtract_corner(corner)
+            ]
+        merged = merge_aligned_boxes(pieces)
+        assert len(merged) <= max(len(pieces), 1)
+        assert pairwise_disjoint(merged)
+        np.testing.assert_array_equal(
+            union_mask(merged, pts), union_mask(pieces, pts)
+        )
+
+
+class TestDecomposeDifference:
+    def test_multiple_removals(self):
+        base = Box.closed([0.0, 0.0], [10.0, 10.0])
+        removals = [
+            Box.closed([0.0, 0.0], [5.0, 5.0]),
+            Box.closed([5.0, 5.0], [10.0, 10.0]),
+        ]
+        pieces = decompose_difference(base, removals)
+        assert pairwise_disjoint(pieces)
+        # remaining: two 5x5 quadrants minus the shared boundary (measure 0)
+        assert math.isclose(total_volume(pieces), 50.0)
+
+    def test_removals_cover_base(self):
+        base = Box.closed([0.0], [1.0])
+        assert decompose_difference(base, [Box.closed([-1.0], [2.0])]) == []
+
+    @given(boxes(2), st.lists(boxes(2), max_size=4), points(2))
+    @settings(max_examples=50)
+    def test_difference_property(self, base, removals, pts):
+        pieces = decompose_difference(base, removals)
+        in_pieces = union_mask(pieces, pts)
+        expected = base.mask(pts) & ~union_mask(removals, pts)
+        np.testing.assert_array_equal(in_pieces, expected)

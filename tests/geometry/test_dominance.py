@@ -1,0 +1,101 @@
+"""Tests for :mod:`repro.geometry.dominance`."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.constraints import Constraints
+from repro.geometry.dominance import (
+    dominance_region,
+    dominated_mask,
+    dominates,
+    dominates_all,
+)
+
+
+coords = st.lists(st.floats(min_value=-50, max_value=50), min_size=3, max_size=3)
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates([1.0, 1.0], [2.0, 2.0])
+
+    def test_weak_tie_in_one_dim(self):
+        assert dominates([1.0, 1.0], [1.0, 2.0])
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates([1.0, 2.0], [1.0, 2.0])
+
+    def test_incomparable(self):
+        assert not dominates([1.0, 3.0], [3.0, 1.0])
+        assert not dominates([3.0, 1.0], [1.0, 3.0])
+
+    @given(coords)
+    def test_irreflexive(self, p):
+        assert not dominates(p, p)
+
+    @given(coords, coords)
+    def test_antisymmetric(self, p, q):
+        assert not (dominates(p, q) and dominates(q, p))
+
+    @given(coords, coords, coords)
+    def test_transitive(self, p, q, r):
+        if dominates(p, q) and dominates(q, r):
+            assert dominates(p, r)
+
+
+class TestVectorized:
+    @given(
+        arrays(np.float64, (8, 3), elements=st.floats(-50, 50)),
+        coords,
+    )
+    def test_dominates_all_matches_scalar(self, pts, t):
+        mask = dominates_all(pts, t)
+        expected = [dominates(row, t) for row in pts]
+        np.testing.assert_array_equal(mask, expected)
+
+    @given(
+        arrays(np.float64, (8, 3), elements=st.floats(-50, 50)),
+        arrays(np.float64, (4, 3), elements=st.floats(-50, 50)),
+    )
+    def test_dominated_mask_matches_scalar(self, pts, doms):
+        mask = dominated_mask(pts, doms)
+        expected = [
+            any(dominates(d, row) for d in doms) for row in pts
+        ]
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_dominated_mask_empty_dominators(self):
+        pts = np.ones((5, 2))
+        mask = dominated_mask(pts, np.empty((0, 2)))
+        assert not mask.any()
+
+
+class TestDominanceRegion:
+    def test_unconstrained_region_contains_dominated(self):
+        region = dominance_region([1.0, 1.0])
+        assert region.contains_point([2.0, 2.0])
+        assert region.contains_point([1.0, 1.0])  # closed corner
+        assert not region.contains_point([0.5, 2.0])
+
+    def test_constrained_region_clipped(self):
+        c = Constraints([0.0, 0.0], [3.0, 3.0])
+        region = dominance_region([1.0, 1.0], c)
+        assert region.contains_point([2.0, 2.0])
+        assert not region.contains_point([4.0, 4.0])
+
+    @given(coords, arrays(np.float64, (16, 3), elements=st.floats(-60, 60)))
+    def test_region_membership_equals_weak_dominance(self, s, pts):
+        """DR(s) is exactly {p : p >= s} (weak dominance closed corner)."""
+        region = dominance_region(s)
+        expected = np.all(pts >= np.asarray(s), axis=1)
+        np.testing.assert_array_equal(region.mask(pts), expected)
+
+    @given(coords, arrays(np.float64, (16, 3), elements=st.floats(-60, 60)))
+    def test_strictly_dominated_points_are_in_region(self, s, pts):
+        region = dominance_region(s)
+        mask = region.mask(pts)
+        for inside, row in zip(mask, pts):
+            if dominates(s, row):
+                assert inside

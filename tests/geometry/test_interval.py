@@ -1,0 +1,152 @@
+"""Unit and property tests for :mod:`repro.geometry.interval`."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.interval import Interval
+
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+def intervals(min_lo=-100, max_hi=100):
+    return st.builds(
+        Interval,
+        st.floats(min_value=min_lo, max_value=max_hi),
+        st.floats(min_value=min_lo, max_value=max_hi),
+        st.booleans(),
+        st.booleans(),
+    )
+
+
+class TestBasics:
+    def test_closed_contains_endpoints(self):
+        iv = Interval.closed(1.0, 2.0)
+        assert iv.contains(1.0)
+        assert iv.contains(2.0)
+        assert iv.contains(1.5)
+        assert not iv.contains(0.999)
+        assert not iv.contains(2.001)
+
+    def test_open_excludes_endpoints(self):
+        iv = Interval(1.0, 2.0, lo_open=True, hi_open=True)
+        assert not iv.contains(1.0)
+        assert not iv.contains(2.0)
+        assert iv.contains(1.5)
+
+    def test_half_open(self):
+        iv = Interval(1.0, 2.0, lo_open=False, hi_open=True)
+        assert iv.contains(1.0)
+        assert not iv.contains(2.0)
+
+    def test_universe_contains_everything(self):
+        iv = Interval.universe()
+        assert iv.contains(0.0)
+        assert iv.contains(1e300)
+        assert iv.contains(-1e300)
+
+    def test_empty_when_reversed(self):
+        assert Interval.closed(2.0, 1.0).is_empty()
+
+    def test_degenerate_closed_point_not_empty(self):
+        iv = Interval.closed(1.0, 1.0)
+        assert not iv.is_empty()
+        assert iv.contains(1.0)
+
+    def test_degenerate_open_point_is_empty(self):
+        assert Interval(1.0, 1.0, lo_open=True).is_empty()
+        assert Interval(1.0, 1.0, hi_open=True).is_empty()
+
+    def test_length(self):
+        assert Interval.closed(1.0, 3.0).length() == 2.0
+        assert Interval.closed(3.0, 1.0).length() == 0.0
+
+    def test_str(self):
+        assert str(Interval(0.0, 1.0, lo_open=True)) == "(0, 1]"
+        assert str(Interval.closed(0.0, 1.0)) == "[0, 1]"
+
+
+class TestIntersect:
+    def test_disjoint(self):
+        a = Interval.closed(0.0, 1.0)
+        b = Interval.closed(2.0, 3.0)
+        assert a.intersect(b).is_empty()
+        assert not a.overlaps(b)
+
+    def test_touching_closed_endpoints_overlap(self):
+        a = Interval.closed(0.0, 1.0)
+        b = Interval.closed(1.0, 2.0)
+        inter = a.intersect(b)
+        assert not inter.is_empty()
+        assert inter.contains(1.0)
+
+    def test_touching_open_endpoint_disjoint(self):
+        a = Interval(0.0, 1.0, hi_open=True)
+        b = Interval.closed(1.0, 2.0)
+        assert a.intersect(b).is_empty()
+
+    def test_open_flag_wins_on_equal_bound(self):
+        a = Interval(0.0, 1.0, lo_open=True)
+        b = Interval.closed(0.0, 1.0)
+        inter = a.intersect(b)
+        assert inter.lo_open
+        assert not inter.contains(0.0)
+
+    @given(intervals(), intervals(), finite)
+    def test_intersection_membership(self, a, b, x):
+        assert a.intersect(b).contains(x) == (a.contains(x) and b.contains(x))
+
+
+class TestContainsInterval:
+    def test_subset(self):
+        assert Interval.closed(0.0, 10.0).contains_interval(Interval.closed(1.0, 2.0))
+
+    def test_equal_is_subset(self):
+        iv = Interval.closed(0.0, 1.0)
+        assert iv.contains_interval(iv)
+
+    def test_open_cannot_contain_closed_at_same_bound(self):
+        a = Interval(0.0, 1.0, lo_open=True)
+        b = Interval.closed(0.0, 1.0)
+        assert not a.contains_interval(b)
+        assert b.contains_interval(a)
+
+    def test_empty_is_subset_of_anything(self):
+        empty = Interval.closed(2.0, 1.0)
+        assert Interval.closed(5.0, 6.0).contains_interval(empty)
+
+    @given(intervals(), intervals())
+    def test_containment_consistent_with_intersection(self, a, b):
+        if a.contains_interval(b) and not b.is_empty():
+            inter = a.intersect(b)
+            # b subset of a  =>  a & b == b as a point set
+            for x in (b.lo, b.hi, (b.lo + b.hi) / 2):
+                assert inter.contains(x) == b.contains(x)
+
+
+class TestBelowAbove:
+    def test_below_strict(self):
+        iv = Interval.closed(0.0, 10.0)
+        below = iv.below(5.0)
+        assert below.contains(4.999)
+        assert not below.contains(5.0)
+
+    def test_above_closed_by_default(self):
+        iv = Interval.closed(0.0, 10.0)
+        above = iv.above(5.0)
+        assert above.contains(5.0)
+        assert above.contains(10.0)
+        assert not above.contains(4.999)
+
+    @given(intervals(), finite, finite)
+    def test_below_above_partition(self, iv, x, probe):
+        """below(x, strict) and above(x) partition the interval exactly."""
+        below = iv.below(x, strict=True)
+        above = iv.above(x, strict=False)
+        in_below = below.contains(probe)
+        in_above = above.contains(probe)
+        assert not (in_below and in_above)
+        assert (in_below or in_above) == iv.contains(probe)

@@ -1,0 +1,247 @@
+"""Tests for :mod:`repro.index.btree` against a sorted-array oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.btree import BPlusTree
+
+
+def oracle_range(keys, rows, lo, hi, lo_open=False, hi_open=False):
+    """Reference implementation on plain arrays (sorted by key)."""
+    keys = np.asarray(keys, dtype=float)
+    rows = np.asarray(rows, dtype=np.int64)
+    order = np.argsort(keys, kind="stable")
+    keys, rows = keys[order], rows[order]
+    mask = (keys > lo) if lo_open else (keys >= lo)
+    mask &= (keys < hi) if hi_open else (keys <= hi)
+    return rows[mask]
+
+
+class TestConstruction:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.min_key() is None
+        assert len(tree.range_rows(-1, 1)) == 0
+
+    def test_bulk_load_small(self):
+        keys = np.array([3.0, 1.0, 2.0])
+        tree = BPlusTree.bulk_load(keys, np.arange(3))
+        assert len(tree) == 3
+        assert list(tree.range_rows(1.0, 3.0)) == [1, 2, 0]
+
+    def test_bulk_load_presorted_flag_validated(self):
+        with pytest.raises(ValueError):
+            BPlusTree.bulk_load(np.array([2.0, 1.0]), np.arange(2), presorted=True)
+
+    def test_bulk_load_shape_validated(self):
+        with pytest.raises(ValueError):
+            BPlusTree.bulk_load(np.zeros(3), np.zeros(2, dtype=np.int64))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BPlusTree(leaf_capacity=1)
+        with pytest.raises(ValueError):
+            BPlusTree(fanout=2)
+
+    def test_bulk_load_builds_multiple_levels(self):
+        n = 10_000
+        tree = BPlusTree.bulk_load(
+            np.arange(n, dtype=float), np.arange(n), leaf_capacity=16, fanout=4
+        )
+        assert tree.height >= 4
+        tree.check_invariants()
+
+    def test_min_key(self):
+        tree = BPlusTree.bulk_load(np.array([5.0, 2.0, 9.0]), np.arange(3))
+        assert tree.min_key() == 2.0
+
+
+class TestRangeQueries:
+    @pytest.fixture()
+    def loaded(self):
+        rng = np.random.default_rng(7)
+        keys = rng.uniform(0, 100, size=5000)
+        rows = np.arange(5000)
+        tree = BPlusTree.bulk_load(keys, rows, leaf_capacity=32, fanout=8)
+        return tree, keys, rows
+
+    def test_full_range(self, loaded):
+        tree, keys, rows = loaded
+        assert set(tree.range_rows()) == set(rows)
+
+    def test_point_lookup_with_duplicates(self):
+        keys = np.array([1.0, 2.0, 2.0, 2.0, 3.0])
+        tree = BPlusTree.bulk_load(keys, np.arange(5), leaf_capacity=2)
+        assert set(tree.lookup(2.0)) == {1, 2, 3}
+
+    def test_open_bounds(self, loaded):
+        tree, keys, rows = loaded
+        lo, hi = 25.0, 75.0
+        got = tree.range_rows(lo, hi, lo_open=True, hi_open=True)
+        expected = oracle_range(keys, rows, lo, hi, True, True)
+        assert sorted(got) == sorted(expected)
+
+    def test_count_matches_range(self, loaded):
+        tree, keys, rows = loaded
+        for lo, hi in [(0, 100), (10, 20), (50, 50), (99, 1)]:
+            assert tree.count_range(lo, hi) == len(tree.range_rows(lo, hi))
+
+    def test_empty_range(self, loaded):
+        tree, _, _ = loaded
+        assert len(tree.range_rows(200, 300)) == 0
+        assert tree.count_range(60, 40) == 0
+
+    def test_rows_returned_in_key_order(self, loaded):
+        tree, keys, _ = loaded
+        got = tree.range_rows(10.0, 90.0)
+        got_keys = keys[got]
+        assert np.all(np.diff(got_keys) >= 0)
+
+    def test_nodes_visited_increases(self, loaded):
+        tree, _, _ = loaded
+        before = tree.nodes_visited
+        tree.range_rows(40, 60)
+        assert tree.nodes_visited > before
+
+    @given(
+        keys=st.lists(st.floats(min_value=0, max_value=100), min_size=0, max_size=300),
+        lo=st.floats(min_value=-10, max_value=110),
+        hi=st.floats(min_value=-10, max_value=110),
+        lo_open=st.booleans(),
+        hi_open=st.booleans(),
+    )
+    @settings(max_examples=80)
+    def test_range_matches_oracle(self, keys, lo, hi, lo_open, hi_open):
+        rows = np.arange(len(keys))
+        tree = BPlusTree.bulk_load(np.array(keys), rows, leaf_capacity=4, fanout=4)
+        got = tree.range_rows(lo, hi, lo_open, hi_open)
+        expected = oracle_range(keys, rows, lo, hi, lo_open, hi_open)
+        assert sorted(got) == sorted(expected)
+
+
+class TestInsert:
+    def test_insert_into_empty(self):
+        tree = BPlusTree(leaf_capacity=4, fanout=4)
+        for i, key in enumerate([5.0, 1.0, 3.0, 2.0, 4.0]):
+            tree.insert(key, i)
+        tree.check_invariants()
+        assert [k for k, _ in tree.items()] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_insert_causes_splits(self):
+        tree = BPlusTree(leaf_capacity=4, fanout=4)
+        rng = np.random.default_rng(3)
+        keys = rng.uniform(0, 1, size=500)
+        for i, key in enumerate(keys):
+            tree.insert(key, i)
+        tree.check_invariants()
+        assert tree.height > 2
+        assert len(tree) == 500
+        assert sorted(tree.range_rows()) == list(range(500))
+
+    def test_insert_after_bulk_load(self):
+        tree = BPlusTree.bulk_load(
+            np.arange(100, dtype=float), np.arange(100), leaf_capacity=8
+        )
+        tree.insert(50.5, 1000)
+        tree.check_invariants()
+        assert 1000 in set(tree.range_rows(50, 51))
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=10), min_size=1, max_size=200)
+    )
+    @settings(max_examples=50)
+    def test_insert_matches_oracle(self, keys):
+        tree = BPlusTree(leaf_capacity=4, fanout=4)
+        for i, key in enumerate(keys):
+            tree.insert(key, i)
+        tree.check_invariants()
+        got = tree.range_rows(2.0, 8.0)
+        expected = oracle_range(keys, np.arange(len(keys)), 2.0, 8.0)
+        assert sorted(got) == sorted(expected)
+
+
+class TestDelete:
+    def test_delete_present_pair(self):
+        tree = BPlusTree.bulk_load(np.array([1.0, 2.0, 3.0]), np.arange(3))
+        assert tree.delete(2.0, 1)
+        assert len(tree) == 2
+        assert list(tree.lookup(2.0)) == []
+        tree.check_invariants()
+
+    def test_delete_missing_key(self):
+        tree = BPlusTree.bulk_load(np.array([1.0, 2.0]), np.arange(2))
+        assert not tree.delete(5.0, 0)
+        assert not tree.delete(1.0, 99)  # right key, wrong row
+        assert len(tree) == 2
+
+    def test_delete_one_of_duplicates(self):
+        keys = np.array([2.0] * 6)
+        tree = BPlusTree.bulk_load(keys, np.arange(6), leaf_capacity=2)
+        assert tree.delete(2.0, 3)
+        assert sorted(tree.lookup(2.0)) == [0, 1, 2, 4, 5]
+        tree.check_invariants()
+
+    def test_delete_duplicates_spanning_leaves(self):
+        keys = np.array([1.0, 2.0, 2.0, 2.0, 2.0, 3.0])
+        tree = BPlusTree.bulk_load(keys, np.arange(6), leaf_capacity=2)
+        for row in [1, 2, 3, 4]:
+            assert tree.delete(2.0, row)
+        assert list(tree.lookup(2.0)) == []
+        assert sorted(tree.range_rows()) == [0, 5]
+        tree.check_invariants()
+
+    def test_delete_everything(self):
+        rng = np.random.default_rng(7)
+        keys = rng.uniform(0, 1, size=200)
+        tree = BPlusTree.bulk_load(keys, np.arange(200), leaf_capacity=4, fanout=4)
+        order = rng.permutation(200)
+        for i, row in enumerate(order):
+            assert tree.delete(keys[row], int(row)), f"step {i}"
+            tree.check_invariants()
+        assert len(tree) == 0
+        assert len(tree.range_rows()) == 0
+
+    def test_interleaved_insert_delete_matches_oracle(self):
+        rng = np.random.default_rng(8)
+        tree = BPlusTree(leaf_capacity=4, fanout=4)
+        live = {}
+        next_row = 0
+        for _ in range(800):
+            if live and rng.random() < 0.45:
+                row = int(rng.choice(list(live)))
+                assert tree.delete(live.pop(row), row)
+            else:
+                key = float(rng.uniform(0, 10))
+                tree.insert(key, next_row)
+                live[next_row] = key
+                next_row += 1
+        tree.check_invariants()
+        got = sorted(tree.range_rows())
+        assert got == sorted(live)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=5), min_size=1, max_size=80),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_delete_property(self, keys, data):
+        tree = BPlusTree.bulk_load(
+            np.array(keys), np.arange(len(keys)), leaf_capacity=4, fanout=4
+        )
+        n_delete = data.draw(st.integers(0, len(keys)))
+        victims = data.draw(
+            st.lists(
+                st.integers(0, len(keys) - 1),
+                min_size=n_delete,
+                max_size=n_delete,
+                unique=True,
+            )
+        )
+        for row in victims:
+            assert tree.delete(keys[row], row)
+        tree.check_invariants()
+        survivors = sorted(set(range(len(keys))) - set(victims))
+        assert sorted(tree.range_rows()) == survivors

@@ -1,0 +1,137 @@
+"""Cross-checks of the in-memory skyline algorithms (BNL, SFS, oracle)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data.generator import generate
+from repro.skyline.bnl import bnl_skyline
+from repro.skyline.bskytree import bskytree_skyline
+from repro.skyline.dandc import dandc_skyline
+from repro.skyline.reference import brute_force_skyline, is_skyline
+from repro.skyline.sfs import sfs_skyline
+
+ALGORITHMS = [bnl_skyline, sfs_skyline, dandc_skyline, bskytree_skyline]
+
+
+def point_sets(ndim=3, max_n=60):
+    return arrays(
+        np.float64,
+        st.tuples(st.integers(0, max_n), st.just(ndim)),
+        elements=st.floats(0, 1),
+    )
+
+
+class TestOracle:
+    def test_empty(self):
+        assert len(brute_force_skyline(np.empty((0, 2)))) == 0
+
+    def test_single_point(self):
+        assert list(brute_force_skyline(np.array([[1.0, 2.0]]))) == [0]
+
+    def test_simple_2d(self):
+        pts = np.array([[1, 5], [2, 2], [5, 1], [3, 3], [4, 4]], dtype=float)
+        assert list(brute_force_skyline(pts)) == [0, 1, 2]
+
+    def test_duplicates_all_kept(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        assert list(brute_force_skyline(pts)) == [0, 1]
+
+    def test_dominated_duplicates_all_dropped(self):
+        pts = np.array([[0.5, 0.5], [2.0, 2.0], [2.0, 2.0]])
+        assert list(brute_force_skyline(pts)) == [0]
+
+    def test_is_skyline_helper(self):
+        pts = np.array([[1, 5], [2, 2], [5, 1], [3, 3]], dtype=float)
+        assert is_skyline(pts, pts[[0, 1, 2]])
+        assert not is_skyline(pts, pts[[0, 1]])
+        assert not is_skyline(pts, pts[[0, 1, 3]])
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS, ids=["bnl", "sfs", "dandc", "bskytree"])
+class TestAlgorithms:
+    def test_empty(self, algorithm):
+        assert len(algorithm(np.empty((0, 3)))) == 0
+
+    def test_single_point(self, algorithm):
+        assert list(algorithm(np.array([[0.3, 0.7]]))) == [0]
+
+    def test_all_identical(self, algorithm):
+        pts = np.tile([0.5, 0.5], (10, 1))
+        assert len(algorithm(pts)) == 10
+
+    def test_total_order_chain(self, algorithm):
+        pts = np.array([[i, i] for i in range(10)], dtype=float)
+        assert list(algorithm(pts)) == [0]
+
+    def test_antichain(self, algorithm):
+        pts = np.array([[i, 10 - i] for i in range(10)], dtype=float)
+        assert len(algorithm(pts)) == 10
+
+    @pytest.mark.parametrize(
+        "distribution", ["independent", "correlated", "anticorrelated"]
+    )
+    def test_matches_oracle_on_distributions(self, algorithm, distribution):
+        pts = generate(distribution, 300, 4, seed=7)
+        got = np.sort(algorithm(pts))
+        expected = brute_force_skyline(pts)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_matches_oracle_high_dim(self, algorithm):
+        pts = generate("independent", 150, 8, seed=3)
+        np.testing.assert_array_equal(
+            np.sort(algorithm(pts)), brute_force_skyline(pts)
+        )
+
+    def test_with_duplicated_block(self, algorithm):
+        rng = np.random.default_rng(5)
+        base = rng.uniform(0, 1, size=(40, 3))
+        pts = np.vstack([base, base[:10]])  # exact duplicates
+        np.testing.assert_array_equal(
+            np.sort(algorithm(pts)), brute_force_skyline(pts)
+        )
+
+    @given(point_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_oracle(self, algorithm, pts):
+        np.testing.assert_array_equal(
+            np.sort(algorithm(pts)), brute_force_skyline(pts)
+        )
+
+    @given(point_sets(ndim=2))
+    @settings(max_examples=40, deadline=None)
+    def test_skyline_is_idempotent(self, algorithm, pts):
+        first = pts[algorithm(pts)]
+        second = first[algorithm(first)]
+        assert len(first) == len(second)
+
+    @given(point_sets(ndim=3, max_n=40))
+    @settings(max_examples=40, deadline=None)
+    def test_no_skyline_point_dominated(self, algorithm, pts):
+        sky = pts[algorithm(pts)]
+        for s in sky:
+            le = np.all(pts <= s, axis=1)
+            lt = np.any(pts < s, axis=1)
+            assert not np.any(le & lt)
+
+
+class TestSfsSpecifics:
+    def test_returns_sorted_indices(self):
+        pts = generate("independent", 200, 3, seed=1)
+        idx = sfs_skyline(pts)
+        assert np.all(np.diff(idx) > 0)
+
+    def test_large_input_smoke(self):
+        pts = generate("anticorrelated", 20_000, 3, seed=2)
+        idx = sfs_skyline(pts)
+        # anticorrelated data has a large skyline
+        assert len(idx) > 100
+        sky = pts[idx]
+        # spot-check a sample against the definition
+        rng = np.random.default_rng(0)
+        for s in sky[rng.choice(len(sky), size=20)]:
+            le = np.all(pts <= s, axis=1)
+            lt = np.any(pts < s, axis=1)
+            assert not np.any(le & lt)

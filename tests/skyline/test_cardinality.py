@@ -1,0 +1,97 @@
+"""Tests for skyline cardinality estimation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.generator import generate
+from repro.skyline.cardinality import (
+    advise_skyline_algorithm,
+    constrained_skyline_estimate,
+    expected_skyline_size,
+    expected_skyline_size_asymptotic,
+)
+from repro.skyline.sfs import sfs_skyline
+
+
+class TestExactRecurrence:
+    def test_base_cases(self):
+        assert expected_skyline_size(0, 3) == 0.0
+        assert expected_skyline_size(5, 1) == 1.0
+        assert expected_skyline_size(1, 4) == 1.0
+
+    def test_2d_is_harmonic_number(self):
+        n = 100
+        harmonic = sum(1.0 / k for k in range(1, n + 1))
+        assert expected_skyline_size(n, 2) == pytest.approx(harmonic)
+
+    def test_monotone_in_dimension(self):
+        sizes = [expected_skyline_size(1000, d) for d in range(1, 6)]
+        assert all(a < b for a, b in zip(sizes, sizes[1:]))
+
+    def test_monotone_in_n(self):
+        sizes = [expected_skyline_size(n, 3) for n in [10, 100, 1000]]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_skyline_size(-1, 2)
+        with pytest.raises(ValueError):
+            expected_skyline_size(10, 0)
+
+    @pytest.mark.parametrize("ndim", [2, 3, 4])
+    def test_matches_empirical_independent(self, ndim):
+        """The estimator should land within ~35% of the empirical mean."""
+        n = 2000
+        sizes = [
+            len(sfs_skyline(generate("independent", n, ndim, seed=s)))
+            for s in range(8)
+        ]
+        empirical = float(np.mean(sizes))
+        estimate = expected_skyline_size(n, ndim)
+        assert 0.65 * empirical <= estimate <= 1.35 * empirical
+
+    def test_correlated_far_below_estimate(self):
+        n = 2000
+        estimate = expected_skyline_size(n, 3)
+        correlated = len(sfs_skyline(generate("correlated", n, 3, seed=1)))
+        anticorrelated = len(
+            sfs_skyline(generate("anticorrelated", n, 3, seed=1))
+        )
+        assert correlated < estimate < anticorrelated
+
+
+class TestAsymptotic:
+    def test_tracks_exact_for_large_n(self):
+        exact = expected_skyline_size(100_000, 3)
+        approx = expected_skyline_size_asymptotic(100_000, 3)
+        assert approx == pytest.approx(exact, rel=0.35)
+
+    def test_formula(self):
+        assert expected_skyline_size_asymptotic(math.e.__ceil__() ** 4, 2) >= 3.9
+
+    def test_small_n(self):
+        assert expected_skyline_size_asymptotic(0, 3) == 0.0
+        assert expected_skyline_size_asymptotic(1, 3) == 1.0
+
+
+class TestAdvisor:
+    def test_constrained_estimate_scales_with_selectivity(self):
+        full = constrained_skyline_estimate(10_000, 3, 1.0)
+        small = constrained_skyline_estimate(10_000, 3, 0.01)
+        assert small < full
+
+    def test_selectivity_validation(self):
+        with pytest.raises(ValueError):
+            constrained_skyline_estimate(100, 2, 1.5)
+
+    def test_low_dim_large_n_prefers_bnl(self):
+        # 2-D skylines are ~ln n: tiny windows, BNL is fine.
+        assert advise_skyline_algorithm(1_000_000, 2) == "bnl"
+
+    def test_high_dim_prefers_sfs(self):
+        assert advise_skyline_algorithm(10_000, 8) == "sfs"
+
+    def test_empty_input(self):
+        assert advise_skyline_algorithm(0, 3) == "bnl"

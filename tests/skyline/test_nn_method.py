@@ -1,0 +1,110 @@
+"""Tests for the NN skyline method [15]."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data.generator import generate
+from repro.geometry.constraints import Constraints
+from repro.index.rtree import RTree
+from repro.skyline.bbs import bbs_skyline
+from repro.skyline.nn_method import NNMethod, nn_constrained_skyline
+from repro.skyline.reference import brute_force_skyline, is_skyline
+
+
+def constrained_oracle(points, constraints):
+    inside = points[constraints.satisfied_mask(points)]
+    return inside[brute_force_skyline(inside)]
+
+
+class TestCorrectness:
+    def test_empty_tree(self):
+        tree = RTree.bulk_load_points(np.empty((0, 2)))
+        result = nn_constrained_skyline(tree)
+        assert len(result.skyline) == 0
+
+    def test_unconstrained_matches_oracle(self):
+        pts = generate("independent", 400, 2, seed=1)
+        tree = RTree.bulk_load_points(pts, max_entries=16)
+        result = nn_constrained_skyline(tree)
+        assert is_skyline(pts, result.skyline)
+
+    @pytest.mark.parametrize(
+        "distribution", ["independent", "correlated", "anticorrelated"]
+    )
+    def test_constrained_matches_oracle(self, distribution):
+        pts = generate(distribution, 500, 3, seed=2)
+        tree = RTree.bulk_load_points(pts, max_entries=16)
+        c = Constraints([0.2, 0.1, 0.2], [0.8, 0.9, 0.8])
+        result = nn_constrained_skyline(tree, c)
+        expected = constrained_oracle(pts, c)
+        assert len(result.skyline) == len(expected)
+        got = result.skyline[np.lexsort(result.skyline.T[::-1])]
+        exp = expected[np.lexsort(expected.T[::-1])]
+        np.testing.assert_array_equal(got, exp)
+
+    def test_duplicates_all_found(self):
+        pts = np.array([[0.1, 0.9], [0.1, 0.9], [0.5, 0.5], [0.9, 0.1]])
+        tree = RTree.bulk_load_points(pts, max_entries=4)
+        result = nn_constrained_skyline(tree)
+        assert len(result.skyline) == 4
+
+    def test_empty_constraint_region(self):
+        pts = generate("independent", 100, 2, seed=3)
+        tree = RTree.bulk_load_points(pts)
+        result = nn_constrained_skyline(tree, Constraints([5, 5], [6, 6]))
+        assert len(result.skyline) == 0
+
+    def test_dimension_mismatch(self):
+        tree = RTree.bulk_load_points(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            nn_constrained_skyline(tree, Constraints([0.0], [1.0]))
+
+    @given(
+        pts=arrays(
+            np.float64,
+            st.tuples(st.integers(0, 60), st.just(2)),
+            elements=st.floats(0, 1),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_oracle(self, pts):
+        tree = RTree.bulk_load_points(pts, max_entries=4)
+        c = Constraints([0.1, 0.1], [0.9, 0.9])
+        result = nn_constrained_skyline(tree, c)
+        expected = constrained_oracle(pts, c)
+        assert len(result.skyline) == len(expected)
+
+
+class TestInferiorityToBBS:
+    """Reproduces the related-work claim: NN does more R-tree work than BBS."""
+
+    def test_nn_accesses_more_nodes_than_bbs(self):
+        pts = generate("independent", 5000, 3, seed=4)
+        tree = RTree.bulk_load_points(pts, max_entries=32)
+        c = Constraints([0.1] * 3, [0.9] * 3)
+        nn = nn_constrained_skyline(tree, c)
+        bbs = bbs_skyline(tree, c)
+        assert nn.nodes_accessed > bbs.nodes_accessed
+        assert len(nn.skyline) == len(bbs.skyline)
+
+    def test_nn_queries_grow_with_skyline_size(self):
+        pts = generate("anticorrelated", 2000, 2, seed=5)
+        tree = RTree.bulk_load_points(pts, max_entries=16)
+        result = nn_constrained_skyline(tree)
+        assert result.nn_queries > len(result.skyline)
+
+
+class TestMethodWrapper:
+    def test_query_outcome(self):
+        pts = generate("independent", 1000, 2, seed=6)
+        method = NNMethod(pts, max_entries=16)
+        c = Constraints([0.1, 0.1], [0.9, 0.9])
+        out = method.query(c)
+        assert out.method == "NN"
+        assert out.nodes_accessed > 0
+        assert out.timings.fetch_io_ms > 0
+        expected = constrained_oracle(pts, c)
+        assert len(out.skyline) == len(expected)

@@ -1,0 +1,94 @@
+"""Tests for :mod:`repro.storage.costmodel` and :mod:`repro.storage.pager`."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.costmodel import DiskCostModel
+from repro.storage.pager import IOStats, page_runs
+
+
+class TestCostModel:
+    def test_defaults(self):
+        model = DiskCostModel()
+        assert model.fetch_cost_ms(0, 0) == 0.0
+        assert model.fetch_cost_ms(1, 10) == pytest.approx(
+            model.seek_ms + 10 * model.page_read_ms
+        )
+
+    def test_sequential_scan(self):
+        model = DiskCostModel(seek_ms=4.0, page_read_ms=1.0)
+        assert model.sequential_scan_cost_ms(0) == 0.0
+        assert model.sequential_scan_cost_ms(100) == pytest.approx(104.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskCostModel(page_size=0)
+        with pytest.raises(ValueError):
+            DiskCostModel(seek_ms=-1.0)
+
+    def test_random_access_costs_more_than_sequential(self):
+        """Core premise of the paper's Figure 10: scattered reads are slower."""
+        model = DiskCostModel()
+        scattered = model.fetch_cost_ms(n_seeks=50, n_pages=50)
+        sequential = model.fetch_cost_ms(n_seeks=1, n_pages=50)
+        assert scattered > sequential
+
+
+class TestPageRuns:
+    def test_empty(self):
+        assert page_runs(np.array([], dtype=np.int64), 10) == (0, 0)
+
+    def test_single_page(self):
+        assert page_runs(np.array([0, 1, 2]), 10) == (1, 1)
+
+    def test_contiguous_pages_one_run(self):
+        rows = np.array([5, 15, 25])  # pages 0, 1, 2
+        assert page_runs(rows, 10) == (3, 1)
+
+    def test_gap_starts_new_run(self):
+        rows = np.array([5, 95])  # pages 0 and 9
+        assert page_runs(rows, 10) == (2, 2)
+
+    def test_duplicate_rows_counted_once(self):
+        rows = np.array([3, 3, 3])
+        assert page_runs(rows, 10) == (1, 1)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1))
+    def test_runs_never_exceed_pages(self, rows):
+        n_pages, n_runs = page_runs(np.array(rows), 16)
+        assert 1 <= n_runs <= n_pages
+        assert n_pages == len({r // 16 for r in rows})
+
+
+class TestIOStats:
+    def test_reset(self):
+        stats = IOStats(points_read=5, seeks=2, simulated_io_ms=1.5)
+        stats.reset()
+        assert stats.points_read == 0
+        assert stats.simulated_io_ms == 0.0
+
+    def test_snapshot_is_independent(self):
+        stats = IOStats(points_read=5)
+        snap = stats.snapshot()
+        stats.points_read = 99
+        assert snap.points_read == 5
+
+    def test_delta_since(self):
+        stats = IOStats(points_read=10, pages_read=3, simulated_io_ms=2.0)
+        snap = stats.snapshot()
+        stats.points_read += 7
+        stats.simulated_io_ms += 1.0
+        delta = stats.delta_since(snap)
+        assert delta.points_read == 7
+        assert delta.pages_read == 0
+        assert delta.simulated_io_ms == pytest.approx(1.0)
+
+    def test_add(self):
+        a = IOStats(points_read=1, range_queries=2)
+        b = IOStats(points_read=3, empty_queries=1)
+        a.add(b)
+        assert a.points_read == 4
+        assert a.range_queries == 2
+        assert a.empty_queries == 1
