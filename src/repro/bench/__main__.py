@@ -6,6 +6,8 @@ Usage::
     python -m repro.bench fig5a fig9b     # selected figures
     python -m repro.bench --json out.json fig5a   # also dump raw series
     python -m repro.bench --svg charts/ fig5a     # also render SVG charts
+    python -m repro.bench --obs out/ fig5a        # metrics.json + trace.jsonl
+    python -m repro.bench --obs-report fig5a      # print the obs summary
     REPRO_BENCH_SCALE=default python -m repro.bench
 
 Scales: quick (default; seconds per figure), default (minutes), full
@@ -18,9 +20,26 @@ from __future__ import annotations
 import json
 import sys
 import time
+from contextlib import nullcontext
 
 from repro.bench.experiments import ALL_EXPERIMENTS
 from repro.bench.harness import bench_scale
+from repro.obs import activate
+
+
+def _build_obs(obs_dir):
+    """Create an Observability writing trace.jsonl under ``obs_dir``."""
+    from pathlib import Path
+
+    from repro.obs import MetricsRegistry, Observability, Tracer
+    from repro.obs.sinks import JsonlSink
+
+    obs = Observability(metrics=MetricsRegistry(), tracer=Tracer())
+    if obs_dir is not None:
+        out_dir = Path(obs_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        obs.tracer.add_sink(JsonlSink(out_dir / "trace.jsonl"))
+    return obs
 
 
 def main(argv=None) -> int:
@@ -28,7 +47,11 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     json_path = None
     svg_dir = None
-    for flag_name in ("--json", "--svg"):
+    obs_dir = None
+    obs_report = "--obs-report" in argv
+    if obs_report:
+        argv.remove("--obs-report")
+    for flag_name in ("--json", "--svg", "--obs"):
         if flag_name in argv:
             flag = argv.index(flag_name)
             try:
@@ -38,43 +61,65 @@ def main(argv=None) -> int:
                 return 2
             if flag_name == "--json":
                 json_path = value
-            else:
+            elif flag_name == "--svg":
                 svg_dir = value
+            else:
+                obs_dir = value
             del argv[flag : flag + 2]
     names = argv or list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {unknown}; available: {list(ALL_EXPERIMENTS)}")
         return 2
+
+    obs = None
+    if obs_dir is not None or obs_report:
+        obs = _build_obs(obs_dir)
+
     print(f"# repro benchmark run (scale={bench_scale()})\n")
     dump = {"scale": bench_scale(), "figures": {}}
-    for name in names:
-        start = time.perf_counter()
-        report = ALL_EXPERIMENTS[name]()
-        elapsed = time.perf_counter() - start
-        print(str(report))
-        print(f"[{name} regenerated in {elapsed:.1f}s]\n")
-        dump["figures"][name] = {
-            "title": report.title,
-            "seconds": round(elapsed, 2),
-            "series": json.loads(json.dumps(report.series, default=float)),
-        }
-        if svg_dir is not None:
-            from pathlib import Path
+    with (activate(obs) if obs is not None else nullcontext()):
+        for name in names:
+            start = time.perf_counter()
+            report = ALL_EXPERIMENTS[name]()
+            elapsed = time.perf_counter() - start
+            print(str(report))
+            print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+            dump["figures"][name] = {
+                "title": report.title,
+                "seconds": round(elapsed, 2),
+                "series": json.loads(json.dumps(report.series, default=float)),
+            }
+            if svg_dir is not None:
+                from pathlib import Path
 
-            from repro.bench.svg import render_figure
+                from repro.bench.svg import render_figure
 
-            svg = render_figure(report)
-            if svg is not None:
-                out_dir = Path(svg_dir)
-                out_dir.mkdir(parents=True, exist_ok=True)
-                target = out_dir / f"{name}.svg"
-                target.write_text(svg)
-                print(f"[chart written to {target}]")
+                svg = render_figure(report)
+                if svg is not None:
+                    out_dir = Path(svg_dir)
+                    out_dir.mkdir(parents=True, exist_ok=True)
+                    target = out_dir / f"{name}.svg"
+                    target.write_text(svg)
+                    print(f"[chart written to {target}]")
     if json_path is not None:
         with open(json_path, "w") as handle:
             json.dump(dump, handle, indent=2)
         print(f"[series written to {json_path}]")
+    if obs is not None:
+        obs.close()
+        if obs_dir is not None:
+            from pathlib import Path
+
+            metrics_path = Path(obs_dir) / "metrics.json"
+            obs.metrics.save_json(metrics_path)
+            print(f"[metrics written to {metrics_path}]")
+            print(f"[trace written to {Path(obs_dir) / 'trace.jsonl'}]")
+        if obs_report:
+            from repro.obs.report import render_report
+
+            print("\n# observability report\n")
+            print(render_report(obs.metrics))
     return 0
 
 

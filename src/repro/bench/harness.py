@@ -31,6 +31,7 @@ from repro.core.cache import SkylineCache
 from repro.core.cbcs import CBCS
 from repro.core.strategies import CacheSearchStrategy, MaxOverlapSP
 from repro.geometry.constraints import Constraints
+from repro.obs import current as current_obs
 from repro.skyline.baseline import BaselineMethod
 from repro.skyline.bbs import BBSMethod
 from repro.stats import QueryOutcome
@@ -125,14 +126,23 @@ def make_cbcs(
     strategy: Optional[CacheSearchStrategy] = None,
     cost_model: Optional[DiskCostModel] = None,
     cache: Optional[SkylineCache] = None,
+    obs=None,
 ) -> CBCS:
-    """Build a CBCS engine with a fresh table and cache over ``data``."""
+    """Build a CBCS engine with a fresh table and cache over ``data``.
+
+    ``obs`` defaults to the ambient observability (``repro.obs.current()``),
+    so experiments run under ``repro.obs.activate(...)`` -- e.g. via
+    ``python -m repro.bench --obs DIR`` -- are instrumented without any
+    signature changes; otherwise the shared no-op is used.
+    """
+    obs = current_obs() if obs is None else obs
     table = DiskTable(data, cost_model=cost_model)
     return CBCS(
         table,
         cache=cache if cache is not None else SkylineCache(),
         strategy=strategy,
         region_computer=region,
+        obs=obs if obs.enabled else None,
     )
 
 
@@ -142,23 +152,29 @@ def make_methods(
     include_mpr: bool = False,
     ampr_k: int = 1,
     strategy_factory: Optional[Callable[[], CacheSearchStrategy]] = None,
+    obs=None,
 ) -> Dict[str, object]:
     """Build the paper's method line-up over one dataset.
 
     Returns a name -> method mapping; CBCS methods get independent tables
-    and caches so I/O accounting never crosses methods.
+    and caches so I/O accounting never crosses methods.  All methods share
+    one observability (``obs``, defaulting to the ambient one), so a single
+    metrics registry/trace covers the whole line-up, labeled by method.
     """
+    obs = current_obs() if obs is None else obs
+    obs_arg = obs if obs.enabled else None
     cost_model = cost_model or DiskCostModel()
-    table = DiskTable(data, cost_model=cost_model)
+    table = DiskTable(data, cost_model=cost_model, obs=obs_arg)
     strategy = strategy_factory() if strategy_factory else MaxOverlapSP()
     methods: Dict[str, object] = {
-        "Baseline": BaselineMethod(table),
-        "BBS": BBSMethod(data, cost_model=cost_model),
+        "Baseline": BaselineMethod(table, obs=obs_arg),
+        "BBS": BBSMethod(data, cost_model=cost_model, obs=obs_arg),
         "aMPR": make_cbcs(
             data,
             region=ApproximateMPR(k=ampr_k),
             strategy=strategy,
             cost_model=cost_model,
+            obs=obs,
         ),
     }
     if include_mpr:
@@ -167,6 +183,7 @@ def make_methods(
             region=ExactMPR(),
             strategy=strategy_factory() if strategy_factory else MaxOverlapSP(),
             cost_model=cost_model,
+            obs=obs,
         )
     return methods
 

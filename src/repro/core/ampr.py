@@ -20,18 +20,25 @@ import numpy as np
 
 from repro.core.mpr import MPRResult, compute_mpr
 from repro.geometry.constraints import Constraints
+from repro.obs import NULL_OBS
 
 
 class ExactMPR:
     """The exact Missing Points Region of Definition 5."""
 
     name = "MPR"
+    obs = NULL_OBS
+
+    def bind_obs(self, obs) -> "ExactMPR":
+        """Attach observability (spans + MPR metrics) to this computer."""
+        self.obs = NULL_OBS if obs is None else obs
+        return self
 
     def compute(
         self, old: Constraints, skyline: np.ndarray, new: Constraints
     ) -> MPRResult:
         """Prune with every surviving cached skyline point."""
-        return compute_mpr(old, skyline, new, prune_with=None)
+        return compute_mpr(old, skyline, new, prune_with=None, obs=self.obs)
 
 
 class ApproximateMPR:
@@ -65,6 +72,12 @@ class ApproximateMPR:
         self.max_invalidation_pieces = max_invalidation_pieces
         self.invalidation_anchors = invalidation_anchors
         self.merge_boxes = merge_boxes
+        self.obs = NULL_OBS
+
+    def bind_obs(self, obs) -> "ApproximateMPR":
+        """Attach observability (spans + MPR metrics) to this computer."""
+        self.obs = NULL_OBS if obs is None else obs
+        return self
 
     @property
     def name(self) -> str:
@@ -89,6 +102,7 @@ class ApproximateMPR:
             max_invalidation_pieces=self.max_invalidation_pieces,
             max_invalidation_anchors=self.invalidation_anchors,
             merge_boxes=self.merge_boxes,
+            obs=self.obs,
         )
 
 

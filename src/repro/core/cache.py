@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.geometry.constraints import Constraints
 from repro.index.rtree import RTree
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 
 ReplacementPolicy = Literal["lru", "lcu"]
 
@@ -57,9 +58,12 @@ class SkylineCache:
         capacity: Optional[int] = None,
         policy: ReplacementPolicy = "lru",
         rtree_max_entries: int = 16,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         """``capacity`` of None means unbounded (the paper's experiments
-        never evict; replacement is exercised by our extension tests)."""
+        never evict; replacement is exercised by our extension tests).
+        ``metrics`` optionally mirrors the hit/miss/eviction counters into a
+        shared :class:`~repro.obs.metrics.MetricsRegistry`."""
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be positive (or None for unbounded)")
         if policy not in ("lru", "lcu"):
@@ -75,6 +79,13 @@ class SkylineCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.insertions = 0
+        self.metrics = NULL_METRICS if metrics is None else metrics
+
+    def bind_metrics(self, metrics: Optional[MetricsRegistry]) -> "SkylineCache":
+        """Attach (or detach, with None) a shared metrics registry."""
+        self.metrics = NULL_METRICS if metrics is None else metrics
+        return self
 
     # ------------------------------------------------------------------
     # Mutation
@@ -114,7 +125,10 @@ class SkylineCache:
         self._items[item.item_id] = item
         self._by_constraints[constraints.key()] = item.item_id
         self._index.insert(item.mbr_lo, item.mbr_hi, item.item_id)
+        self.insertions += 1
+        self.metrics.inc("cache_insertions_total")
         self._evict_if_needed()
+        self.metrics.set_gauge("cache_items", len(self._items))
         return item
 
     def remove(self, item: CacheItem) -> None:
@@ -143,32 +157,58 @@ class SkylineCache:
         self._items.clear()
         self._by_constraints.clear()
         self._index = None
+        self.metrics.set_gauge("cache_items", 0)
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
-    def candidates(self, query: Constraints) -> List[CacheItem]:
+    def candidates(self, query: Constraints, record: bool = True) -> List[CacheItem]:
         """Return all items whose skyline MBR intersects ``R_C'``.
 
         This is the paper's cache search: "we perform a search on the
         R*-tree fetching all cache items where R_C' intersects MBR != empty"
-        (Section 6).  Hit/miss counters are updated.
+        (Section 6).  Hit/miss counters are updated unless ``record`` is
+        False (used by dry-run paths such as :meth:`repro.core.cbcs.CBCS.explain`).
         """
         if self._index is None or len(self._items) == 0:
-            self.misses += 1
-            return []
-        ids = self._index.search(query.lo, query.hi)
-        items = [self._items[i] for i in ids]
-        if items:
-            self.hits += 1
+            items: List[CacheItem] = []
         else:
-            self.misses += 1
+            ids = self._index.search(query.lo, query.hi)
+            items = [self._items[i] for i in ids]
+        if record:
+            if items:
+                self.hits += 1
+                self.metrics.inc("cache_hits_total")
+            else:
+                self.misses += 1
+                self.metrics.inc("cache_misses_total")
         return items
 
     def exact_match(self, query: Constraints) -> Optional[CacheItem]:
         """Return the item cached under exactly these constraints, if any."""
         item_id = self._by_constraints.get(query.key())
         return self._items.get(item_id) if item_id is not None else None
+
+    def stats(self) -> dict:
+        """Summary of the cache's bookkeeping counters.
+
+        ``hit_rate`` is hits over recorded lookups (0.0 before any lookup);
+        the same numbers flow into the bound metrics registry as
+        ``cache_hits_total`` / ``cache_misses_total`` /
+        ``cache_evictions_total`` / ``cache_insertions_total`` and the
+        ``cache_items`` gauge.
+        """
+        lookups = self.hits + self.misses
+        return {
+            "items": len(self._items),
+            "capacity": self.capacity,
+            "policy": self.policy,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+        }
 
     def __len__(self) -> int:
         return len(self._items)
@@ -224,6 +264,7 @@ class SkylineCache:
             victim = min(self._items.values(), key=self._eviction_key)
             self._remove(victim)
             self.evictions += 1
+            self.metrics.inc("cache_evictions_total", policy=self.policy)
 
     def _eviction_key(self, item: CacheItem):
         if self.policy == "lru":

@@ -26,6 +26,7 @@ from repro.core.cache import SkylineCache
 from repro.core.cases import CASE_EXACT, classify_change
 from repro.core.strategies import CacheSearchStrategy, MaxOverlapSP
 from repro.geometry.constraints import Constraints
+from repro.obs import NULL_OBS
 from repro.skyline.sfs import sfs_skyline
 from repro.stats import QueryOutcome, Stopwatch
 from repro.storage.table import DiskTable
@@ -75,10 +76,18 @@ class CBCS:
         region_computer=None,
         skyline_algorithm: Callable[[np.ndarray], np.ndarray] = sfs_skyline,
         cache_results: bool = True,
+        obs=None,
     ):
         """``region_computer`` defaults to the 1-NN aMPR, the paper's default
         for interactive workloads; pass :class:`~repro.core.ampr.ExactMPR`
-        for minimal reads."""
+        for minimal reads.
+
+        ``obs`` attaches an :class:`~repro.obs.Observability` to the whole
+        engine: queries run inside ``cbcs.query`` spans (with nested cache
+        search / selection / MPR / fetch / skyline spans), and the cache,
+        strategy, and region computer are bound to the same registry.  With
+        the default ``None`` everything stays on the shared no-op.
+        """
         self.table = table
         # explicit None checks: an empty SkylineCache is falsy (len 0)
         self.cache = cache if cache is not None else SkylineCache()
@@ -88,6 +97,14 @@ class CBCS:
         )
         self.skyline_algorithm = skyline_algorithm
         self.cache_results = cache_results
+        self.obs = NULL_OBS if obs is None else obs
+        if obs is not None:
+            self.cache.bind_metrics(obs.metrics)
+            self.strategy.bind_obs(obs)
+            if hasattr(self.region, "bind_obs"):
+                self.region.bind_obs(obs)
+            if self.table.obs is NULL_OBS:
+                self.table.bind_obs(obs)
 
     @property
     def name(self) -> str:
@@ -100,22 +117,41 @@ class CBCS:
         """Answer one constrained skyline query, reusing the cache."""
         if constraints.ndim != self.table.ndim:
             raise ValueError("constraints dimensionality does not match the table")
-        watch = Stopwatch()
+        obs = self.obs
+        with obs.tracer.span("cbcs.query", strategy=self.strategy.name) as qspan:
+            outcome = self._answer(constraints, qspan)
+        obs.record_outcome(outcome)
+        return outcome
+
+    def _answer(self, constraints: Constraints, qspan) -> QueryOutcome:
+        """The query body, run inside the ``cbcs.query`` span."""
+        obs = self.obs
+        watch = Stopwatch(tracer=obs.tracer)
         io_before = self.table.stats.snapshot()
 
         with watch.stage("processing"):
-            candidates = self.cache.candidates(constraints)
+            with obs.tracer.span("cache.search"):
+                candidates = self.cache.candidates(constraints)
             item = (
                 self.strategy.select(constraints, candidates) if candidates else None
             )
+        obs.metrics.inc(
+            "cache_lookups_total",
+            strategy=self.strategy.name,
+            outcome="hit" if item is not None else "miss",
+        )
 
         if item is None:
+            qspan.set(case=CASE_MISS, cache_hit=False)
             return self._query_miss(constraints, watch, io_before)
 
         with watch.stage("processing"):
-            case = classify_change(item.constraints, constraints)
+            with obs.tracer.span("case.classify") as cspan:
+                case = classify_change(item.constraints, constraints)
+                cspan.set(case=case, item_id=item.item_id)
             if case == CASE_EXACT:
                 self.cache.touch(item)
+                qspan.set(case=CASE_EXACT, cache_hit=True)
                 outcome = QueryOutcome(
                     skyline=item.skyline.copy(),
                     method=self.name,
@@ -131,24 +167,32 @@ class CBCS:
             fetched = self.table.fetch_boxes(mpr.boxes)
 
         with watch.stage("skyline"):
-            if len(fetched) == 0:
-                # Nothing new: the surviving cached points are already a
-                # skyline among themselves (Definition 1), and by Theorem 6
-                # they are complete -- e.g. case b's "just filter" shortcut.
-                skyline = mpr.surviving
-            else:
-                pool = (
-                    np.vstack([mpr.surviving, fetched.points])
-                    if len(mpr.surviving)
-                    else fetched.points
-                )
-                skyline = pool[self.skyline_algorithm(pool)]
+            with obs.tracer.span("skyline.merge") as mspan:
+                if len(fetched) == 0:
+                    # Nothing new: the surviving cached points are already a
+                    # skyline among themselves (Definition 1), and by Theorem 6
+                    # they are complete -- e.g. case b's "just filter" shortcut.
+                    skyline = mpr.surviving
+                else:
+                    pool = (
+                        np.vstack([mpr.surviving, fetched.points])
+                        if len(mpr.surviving)
+                        else fetched.points
+                    )
+                    skyline = pool[self.skyline_algorithm(pool)]
+                if obs.enabled:
+                    mspan.set(
+                        cached=len(mpr.surviving),
+                        fetched=len(fetched),
+                        skyline=len(skyline),
+                    )
 
         self.cache.touch(item)
         if self.cache_results:
             self.cache.insert(constraints, skyline)
         io = self.table.stats.delta_since(io_before)
         watch.timings.fetch_io_ms = io.simulated_io_ms
+        qspan.set(case=case, cache_hit=True, stable=mpr.stable)
         return QueryOutcome(
             skyline=skyline,
             method=self.name,
@@ -168,9 +212,7 @@ class CBCS:
         """
         if constraints.ndim != self.table.ndim:
             raise ValueError("constraints dimensionality does not match the table")
-        hits_before, misses_before = self.cache.hits, self.cache.misses
-        candidates = self.cache.candidates(constraints)
-        self.cache.hits, self.cache.misses = hits_before, misses_before
+        candidates = self.cache.candidates(constraints, record=False)
 
         if not candidates:
             region = constraints.region()

@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.stability import guaranteed_stable
 from repro.geometry.box import Box, merge_aligned_boxes, union_mask
 from repro.geometry.constraints import Constraints
+from repro.obs import NULL_OBS
 
 __all__ = ["MPRResult", "compute_mpr"]
 
@@ -69,6 +70,7 @@ def compute_mpr(
     max_invalidation_pieces: Optional[int] = None,
     max_invalidation_anchors: Optional[int] = None,
     merge_boxes: bool = False,
+    obs=None,
 ) -> MPRResult:
     """Compute the (possibly approximate) MPR of a cached item for ``new``.
 
@@ -104,7 +106,51 @@ def compute_mpr(
     points are dropped from ``surviving``: they will be re-fetched from disk
     along with any exact duplicates, keeping the merged pool an exact
     multiset.
+
+    ``obs`` optionally attaches an :class:`~repro.obs.Observability`: the
+    whole decomposition runs inside an ``mpr.compute`` span (with a nested
+    ``stability.check``), and the box count / stability feed the
+    ``mpr_rectangles_per_query`` histogram and ``mpr_computations_total``
+    counter.
     """
+    obs = NULL_OBS if obs is None else obs
+    with obs.tracer.span("mpr.compute") as span:
+        result = _compute_mpr(
+            old,
+            skyline,
+            new,
+            prune_with,
+            max_invalidation_pieces,
+            max_invalidation_anchors,
+            merge_boxes,
+            obs,
+        )
+        if obs.enabled:
+            span.set(
+                boxes=len(result.boxes),
+                invalidated_boxes=len(result.invalidated_boxes),
+                surviving=len(result.surviving),
+                stable=result.stable,
+            )
+            obs.metrics.observe("mpr_rectangles_per_query", len(result.boxes))
+            obs.metrics.inc(
+                "mpr_computations_total",
+                stable="stable" if result.stable else "unstable",
+            )
+    return result
+
+
+def _compute_mpr(
+    old: Constraints,
+    skyline: np.ndarray,
+    new: Constraints,
+    prune_with: Optional[np.ndarray],
+    max_invalidation_pieces: Optional[int],
+    max_invalidation_anchors: Optional[int],
+    merge_boxes: bool,
+    obs,
+) -> MPRResult:
+    """The Algorithm-1 body behind :func:`compute_mpr` (see its docstring)."""
     if old.ndim != new.ndim:
         raise ValueError("constraint dimensionality mismatch")
     skyline = np.asarray(skyline, dtype=float)
@@ -130,7 +176,9 @@ def compute_mpr(
     # by expelled skyline points.  Syntactically stable items cannot have
     # expelled dominators below the overlap, and items with nothing expelled
     # have nothing to invalidate.
-    stable = guaranteed_stable(old, new) or len(removed) == 0
+    with obs.tracer.span("stability.check") as sspan:
+        stable = guaranteed_stable(old, new) or len(removed) == 0
+        sspan.set(stable=stable, expelled=len(removed))
     invalid: List[Box] = []
     if not stable:
         overlap = new.region().intersect(old.region())
@@ -140,7 +188,9 @@ def compute_mpr(
             and len(anchors) > max_invalidation_anchors
         ):
             anchors = _coarsen_dominators(anchors, max_invalidation_anchors)
-        invalid = _invalidated_regions(overlap, anchors, max_invalidation_pieces)
+        invalid = _invalidated_regions(
+            overlap, anchors, max_invalidation_pieces, obs=obs
+        )
 
     # Step 3 -- subtract the dominance regions of (a subset of) the
     # surviving cached skyline points.
@@ -165,7 +215,7 @@ def compute_mpr(
 
 
 def _invalidated_regions(
-    overlap: Box, removed: np.ndarray, budget: Optional[int]
+    overlap: Box, removed: np.ndarray, budget: Optional[int], obs=NULL_OBS
 ) -> List[Box]:
     """Disjoint boxes covering ``overlap`` intersected with the union of the
     expelled points' dominance regions (conservatively, under a budget).
@@ -188,8 +238,10 @@ def _invalidated_regions(
         if result is not None:
             return result
         if attempt == 0:
+            obs.metrics.inc("mpr_invalidation_fallbacks_total", step="coarsen")
             anchors = _coarsen_dominators(removed, groups=24)
         else:
+            obs.metrics.inc("mpr_invalidation_fallbacks_total", step="collapse")
             anchors = removed.min(axis=0).reshape(1, -1)
     # The single-anchor tiling is one intersection; it cannot exceed any
     # positive budget, but guard anyway.

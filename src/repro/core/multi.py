@@ -38,6 +38,7 @@ from repro.core.mpr import (
 from repro.core.stability import guaranteed_stable
 from repro.geometry.box import Box, merge_aligned_boxes, union_mask
 from repro.geometry.constraints import Constraints
+from repro.obs import NULL_OBS
 from repro.skyline.sfs import sfs_skyline
 
 
@@ -66,6 +67,12 @@ class MultiItemMPR:
         self.max_pieces = max_pieces
         self.invalidation_anchors = invalidation_anchors
         self.merge_boxes = merge_boxes
+        self.obs = NULL_OBS
+
+    def bind_obs(self, obs) -> "MultiItemMPR":
+        """Attach observability (spans + MPR metrics) to this computer."""
+        self.obs = NULL_OBS if obs is None else obs
+        return self
 
     @property
     def name(self) -> str:
@@ -85,6 +92,23 @@ class MultiItemMPR:
         """Compute the MPR of ``new`` against up to ``max_items`` items."""
         if not items:
             raise ValueError("compute_multi requires at least one cache item")
+        obs = self.obs
+        with obs.tracer.span("mpr.compute_multi", items=len(items)) as span:
+            result = self._compute_multi(items, new)
+            if obs.enabled:
+                span.set(boxes=len(result.boxes), stable=result.stable)
+                obs.metrics.observe("mpr_rectangles_per_query", len(result.boxes))
+                obs.metrics.inc(
+                    "mpr_computations_total",
+                    stable="stable" if result.stable else "unstable",
+                )
+        return result
+
+    def _compute_multi(
+        self,
+        items: Sequence[Tuple[Constraints, np.ndarray]],
+        new: Constraints,
+    ) -> MPRResult:
         pieces: List[Box] = [new.region()]
         pool_counts: Dict[tuple, int] = {}
         stable = True

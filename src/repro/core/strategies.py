@@ -44,19 +44,45 @@ from repro.core.cases import (
 )
 from repro.core.stability import guaranteed_stable
 from repro.geometry.constraints import Constraints
+from repro.obs import NULL_OBS
 
 Rng = Union[int, np.random.Generator, None]
 
 
 class CacheSearchStrategy:
-    """Base class: rank candidate items, return the best."""
+    """Base class: rank candidate items, return the best.
+
+    ``select`` is a template method: it validates, opens a ``cache.select``
+    span, delegates the actual ranking to ``_select`` (overridable), and
+    counts the pick in ``strategy_selections_total{strategy=...}``.
+    Observability defaults to the shared no-op; the CBCS engine rebinds it
+    via :meth:`bind_obs` when instrumented.
+    """
 
     name = "abstract"
+    obs = NULL_OBS
+
+    def bind_obs(self, obs) -> "CacheSearchStrategy":
+        """Attach observability (selection spans + counters)."""
+        self.obs = NULL_OBS if obs is None else obs
+        return self
 
     def select(self, query: Constraints, items: Sequence[CacheItem]) -> CacheItem:
         """Return the preferred cache item for ``query``."""
         if not items:
             raise ValueError("select() requires at least one candidate item")
+        obs = self.obs
+        if not obs.enabled:
+            return self._select(query, items)
+        with obs.tracer.span(
+            "cache.select", strategy=self.name, candidates=len(items)
+        ) as span:
+            item = self._select(query, items)
+            span.set(item_id=item.item_id)
+        obs.metrics.inc("strategy_selections_total", strategy=self.name)
+        return item
+
+    def _select(self, query: Constraints, items: Sequence[CacheItem]) -> CacheItem:
         return max(items, key=lambda item: self._score(query, item))
 
     def _score(self, query: Constraints, item: CacheItem):
@@ -78,9 +104,7 @@ class RandomStrategy(CacheSearchStrategy):
             else np.random.default_rng(seed)
         )
 
-    def select(self, query: Constraints, items: Sequence[CacheItem]) -> CacheItem:
-        if not items:
-            raise ValueError("select() requires at least one candidate item")
+    def _select(self, query: Constraints, items: Sequence[CacheItem]) -> CacheItem:
         return items[int(self._rng.integers(len(items)))]
 
 
@@ -204,9 +228,7 @@ class CostBased(CacheSearchStrategy):
         self.region = region
         self.max_candidates = max_candidates
 
-    def select(self, query: Constraints, items: Sequence[CacheItem]) -> CacheItem:
-        if not items:
-            raise ValueError("select() requires at least one candidate item")
+    def _select(self, query: Constraints, items: Sequence[CacheItem]) -> CacheItem:
         shortlist = sorted(
             items,
             key=lambda it: it.constraints.overlap_volume(query),

@@ -1,0 +1,112 @@
+"""Span sinks: where finished trace spans go.
+
+Every sink implements one method, ``emit(record)``, receiving the span as a
+plain dict (see :meth:`repro.obs.tracing.Span.to_dict`).  Sinks holding OS
+resources also implement ``close()``.
+
+- :class:`RingBufferSink` — keeps the last N spans in memory (tests,
+  interactive inspection, post-mortem of a single run);
+- :class:`JsonlSink` — streams one JSON object per line to ``trace.jsonl``,
+  the benchmark harness's trace artifact;
+- :class:`LoggingSink` — renders spans as indented human-readable lines via
+  the stdlib ``logging`` module.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from collections import deque
+from typing import Dict, List, Optional
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` spans in memory."""
+
+    def __init__(self, capacity: int = 10000):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._buffer: deque = deque(maxlen=capacity)
+
+    def emit(self, record: Dict[str, object]) -> None:
+        self._buffer.append(record)
+
+    @property
+    def spans(self) -> List[Dict[str, object]]:
+        """Buffered spans, oldest first."""
+        return list(self._buffer)
+
+    def named(self, name: str) -> List[Dict[str, object]]:
+        """Buffered spans with the given name, oldest first."""
+        return [r for r in self._buffer if r["name"] == name]
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JsonlSink:
+    """Append one JSON line per span to a file (opened lazily)."""
+
+    def __init__(self, path):
+        self.path = path
+        self._handle = None
+        self.emitted = 0
+
+    def emit(self, record: Dict[str, object]) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "w")
+        json.dump(record, self._handle, default=_jsonable)
+        self._handle.write("\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class LoggingSink:
+    """Log each span as an indented one-liner (DEBUG level by default)."""
+
+    def __init__(self, logger: Optional[logging.Logger] = None, level: int = logging.DEBUG):
+        self.logger = logger if logger is not None else logging.getLogger("repro.obs")
+        self.level = level
+
+    def emit(self, record: Dict[str, object]) -> None:
+        if not self.logger.isEnabledFor(self.level):
+            return
+        indent = "  " * int(record.get("depth", 0))
+        attrs = record.get("attrs") or {}
+        suffix = (
+            " " + " ".join(f"{k}={v}" for k, v in attrs.items()) if attrs else ""
+        )
+        self.logger.log(
+            self.level,
+            "%s%s %.3fms%s",
+            indent,
+            record["name"],
+            record["duration_ms"],
+            suffix,
+        )
+
+
+def _jsonable(value):
+    """Fallback serializer for span attributes (numpy scalars etc.)."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
+
+
+def read_jsonl(path) -> List[Dict[str, object]]:
+    """Load a ``trace.jsonl`` file back into a list of span dicts."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -13,6 +13,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.geometry.constraints import Constraints
+from repro.obs import NULL_OBS
 from repro.skyline.sfs import sfs_skyline
 from repro.stats import QueryOutcome, Stopwatch
 from repro.storage.table import DiskTable
@@ -35,19 +36,24 @@ class BaselineMethod:
 
     name = "Baseline"
 
-    def __init__(self, table: DiskTable):
+    def __init__(self, table: DiskTable, obs=None):
         self.table = table
+        self.obs = NULL_OBS if obs is None else obs
 
     def query(self, constraints: Constraints) -> QueryOutcome:
         """Answer one constrained skyline query."""
-        watch = Stopwatch()
+        obs = self.obs
+        watch = Stopwatch(tracer=obs.tracer)
         before = self.table.stats.snapshot()
-        with watch.stage("fetch_wall"):
-            result = self.table.range_query(constraints.region())
-        with watch.stage("skyline"):
-            skyline = result.points[sfs_skyline(result.points)]
+        with obs.tracer.span("baseline.query"):
+            with watch.stage("fetch_wall"):
+                result = self.table.range_query(constraints.region())
+            with watch.stage("skyline"):
+                skyline = result.points[sfs_skyline(result.points)]
         io = self.table.stats.delta_since(before)
         watch.timings.fetch_io_ms = io.simulated_io_ms
-        return QueryOutcome(
+        outcome = QueryOutcome(
             skyline=skyline, method=self.name, timings=watch.timings, io=io
         )
+        obs.record_outcome(outcome)
+        return outcome

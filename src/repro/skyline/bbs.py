@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.geometry.constraints import Constraints
 from repro.index.rtree import RTree
+from repro.obs import NULL_OBS
 from repro.stats import QueryOutcome, Stopwatch
 from repro.storage.costmodel import DiskCostModel
 
@@ -165,6 +166,7 @@ class BBSMethod:
         cost_model: Optional[DiskCostModel] = None,
         max_entries: int = 128,
         tree: Optional[RTree] = None,
+        obs=None,
     ):
         self.cost_model = cost_model or DiskCostModel()
         # explicit None check: an empty RTree is falsy (len 0)
@@ -173,12 +175,21 @@ class BBSMethod:
                 np.asarray(data, dtype=float), max_entries=max_entries
             )
         self.tree = tree
+        self.obs = NULL_OBS if obs is None else obs
 
     def query(self, constraints: Constraints) -> QueryOutcome:
         """Answer one constrained skyline query."""
-        watch = Stopwatch()
-        with watch.stage("fetch_wall"):
-            result = bbs_skyline(self.tree, constraints)
+        obs = self.obs
+        watch = Stopwatch(tracer=obs.tracer)
+        with obs.tracer.span("bbs.query") as span:
+            with watch.stage("fetch_wall"):
+                result = bbs_skyline(self.tree, constraints)
+            if obs.enabled:
+                span.set(
+                    nodes_accessed=result.nodes_accessed,
+                    heap_pushes=result.heap_pushes,
+                    skyline=len(result.skyline),
+                )
         io_ms = result.nodes_accessed * self.cost_model.fetch_cost_ms(1, 1)
         watch.timings.fetch_io_ms = io_ms
         outcome = QueryOutcome(
@@ -190,4 +201,7 @@ class BBSMethod:
         outcome.io.pages_read = result.nodes_accessed
         outcome.io.seeks = result.nodes_accessed
         outcome.io.simulated_io_ms = io_ms
+        if obs.enabled:
+            obs.metrics.inc("bbs_heap_pushes_total", result.heap_pushes)
+        obs.record_outcome(outcome)
         return outcome

@@ -13,11 +13,12 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Iterator, Optional
 
 import numpy as np
 
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.storage.pager import IOStats
 
 
@@ -82,21 +83,39 @@ class QueryOutcome:
         return self.io.range_queries - self.io.empty_queries
 
 
-class Stopwatch:
-    """Accumulates wall-clock milliseconds into named stages."""
+#: Valid Stopwatch stage names: exactly the ``*_ms`` *fields* of
+#: :class:`StageTimings`.  Derived explicitly from ``dataclasses.fields`` so
+#: read-only properties such as ``total_ms`` (which a plain ``hasattr`` check
+#: would accept) are rejected.
+STAGE_NAMES = frozenset(f.name[: -len("_ms")] for f in fields(StageTimings))
 
-    def __init__(self) -> None:
+
+class Stopwatch:
+    """Accumulates wall-clock milliseconds into named stages.
+
+    A thin adapter over :class:`repro.obs.tracing.Tracer`: each completed
+    stage is also recorded as a ``stage.<name>`` span carrying *the same*
+    measured duration (one clock reading feeds both ``StageTimings`` and the
+    trace, so the two timing paths cannot drift).  With the default
+    :data:`~repro.obs.tracing.NULL_TRACER` the span recording is a no-op.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
         self.timings = StageTimings()
+        self.tracer = NULL_TRACER if tracer is None else tracer
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
         """Time a block and add it to ``timings.<name>_ms``."""
+        if name not in STAGE_NAMES:
+            raise ValueError(
+                f"unknown stage {name!r}; expected one of {sorted(STAGE_NAMES)}"
+            )
         attr = f"{name}_ms"
-        if not hasattr(self.timings, attr):
-            raise ValueError(f"unknown stage {name!r}")
         start = time.perf_counter()
         try:
             yield
         finally:
             elapsed_ms = (time.perf_counter() - start) * 1000.0
             setattr(self.timings, attr, getattr(self.timings, attr) + elapsed_ms)
+            self.tracer.record(f"stage.{name}", elapsed_ms)

@@ -9,15 +9,20 @@ fetch latency that makes up the "fetching" stage of Figure 10.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Tuple, Union
 
 import numpy as np
 
 
 @dataclass
 class IOStats:
-    """Mutable counters for disk activity on one :class:`DiskTable`."""
+    """Mutable counters for disk activity on one :class:`DiskTable`.
+
+    Every arithmetic helper iterates :func:`dataclasses.fields`, so adding a
+    counter field is enough — ``snapshot``/``delta_since``/``add``/``reset``
+    (and the observability export, :meth:`as_dict`) pick it up automatically.
+    """
 
     range_queries: int = 0
     empty_queries: int = 0
@@ -29,52 +34,31 @@ class IOStats:
     buffer_hits: int = 0
 
     def reset(self) -> None:
-        """Zero every counter."""
-        self.range_queries = 0
-        self.empty_queries = 0
-        self.points_read = 0
-        self.pages_read = 0
-        self.seeks = 0
-        self.full_scans = 0
-        self.simulated_io_ms = 0.0
-        self.buffer_hits = 0
+        """Zero every counter (back to the field defaults)."""
+        for f in fields(self):
+            setattr(self, f.name, f.default)
 
     def snapshot(self) -> "IOStats":
         """Return an independent copy of the current counters."""
-        return IOStats(
-            range_queries=self.range_queries,
-            empty_queries=self.empty_queries,
-            points_read=self.points_read,
-            pages_read=self.pages_read,
-            seeks=self.seeks,
-            full_scans=self.full_scans,
-            simulated_io_ms=self.simulated_io_ms,
-            buffer_hits=self.buffer_hits,
-        )
+        return replace(self)
 
     def delta_since(self, earlier: "IOStats") -> "IOStats":
         """Return counters accumulated since an earlier snapshot."""
         return IOStats(
-            range_queries=self.range_queries - earlier.range_queries,
-            empty_queries=self.empty_queries - earlier.empty_queries,
-            points_read=self.points_read - earlier.points_read,
-            pages_read=self.pages_read - earlier.pages_read,
-            seeks=self.seeks - earlier.seeks,
-            full_scans=self.full_scans - earlier.full_scans,
-            simulated_io_ms=self.simulated_io_ms - earlier.simulated_io_ms,
-            buffer_hits=self.buffer_hits - earlier.buffer_hits,
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
         )
 
     def add(self, other: "IOStats") -> None:
         """Accumulate another stats object into this one."""
-        self.range_queries += other.range_queries
-        self.empty_queries += other.empty_queries
-        self.points_read += other.points_read
-        self.pages_read += other.pages_read
-        self.seeks += other.seeks
-        self.full_scans += other.full_scans
-        self.simulated_io_ms += other.simulated_io_ms
-        self.buffer_hits += other.buffer_hits
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        """Plain ``{counter: value}`` mapping (JSON/metrics export)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class BufferPool:

@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.geometry.box import Box
 from repro.index.btree import BPlusTree
+from repro.obs import NULL_OBS
 from repro.storage.costmodel import DiskCostModel
 from repro.storage.pager import BufferPool, IOStats, page_runs
 
@@ -72,11 +73,15 @@ class DiskTable:
         leaf_capacity: int = 256,
         buffer_pages: Optional[int] = None,
         columns: Optional[Sequence[str]] = None,
+        obs=None,
     ):
         """``buffer_pages`` enables an LRU heap-page cache (default off --
         the paper's cold-cache methodology; see
         :class:`~repro.storage.pager.BufferPool`).  ``columns`` optionally
-        names the dimensions, enabling :meth:`constraints` by name."""
+        names the dimensions, enabling :meth:`constraints` by name.
+        ``obs`` attaches an :class:`~repro.obs.Observability`: every range
+        query then runs inside a ``table.range_query`` span and feeds the
+        ``table_*`` counters."""
         data = np.ascontiguousarray(np.asarray(data, dtype=float))
         if data.ndim != 2:
             raise ValueError("data must be an (n, d) array")
@@ -88,6 +93,7 @@ class DiskTable:
         self.cost_model = cost_model or DiskCostModel()
         self.plan: PlanKind = plan
         self.stats = IOStats()
+        self.obs = NULL_OBS if obs is None else obs
         self._leaf_capacity = leaf_capacity
         self._alive = np.ones(len(data), dtype=bool)
         self._vacuumable = np.ones(len(data), dtype=bool)  # index entries present
@@ -197,12 +203,42 @@ class DiskTable:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def bind_obs(self, obs) -> "DiskTable":
+        """Attach (or detach, with None) observability to this table."""
+        self.obs = NULL_OBS if obs is None else obs
+        return self
+
     def range_query(self, box: Box) -> RangeResult:
         """Execute one range query for the points inside ``box``.
 
         Each call models one SQL range predicate sent to the DBMS; the MPR
         fetch issues one call per decomposed hyper-rectangle.
         """
+        obs = self.obs
+        if not obs.enabled:
+            return self._execute_range_query(box)
+        # Instrumented path: one span per range query plus table counters,
+        # charged from the IOStats delta so the span reflects exactly what
+        # this call cost.
+        points_before = self.stats.points_read
+        io_before = self.stats.simulated_io_ms
+        with obs.tracer.span("table.range_query", plan=self.plan) as span:
+            result = self._execute_range_query(box)
+            span.set(
+                rows=len(result),
+                rows_fetched=result.rows_fetched,
+                points_read=self.stats.points_read - points_before,
+                simulated_io_ms=round(self.stats.simulated_io_ms - io_before, 6),
+            )
+        m = obs.metrics
+        m.inc("table_range_queries_total", plan=self.plan)
+        if result.rows_fetched == 0:
+            m.inc("table_empty_queries_total", plan=self.plan)
+        else:
+            m.inc("table_points_read_total", result.rows_fetched, plan=self.plan)
+        return result
+
+    def _execute_range_query(self, box: Box) -> RangeResult:
         if box.ndim != self.ndim:
             raise ValueError("box dimensionality does not match the table")
         self.stats.range_queries += 1
@@ -244,6 +280,15 @@ class DiskTable:
         Boxes produced by the MPR decomposition are disjoint, so the union
         needs no deduplication.
         """
+        if self.obs.enabled:
+            boxes = list(boxes)
+            with self.obs.tracer.span("table.fetch_boxes", boxes=len(boxes)) as span:
+                result = self._fetch_boxes(boxes)
+                span.set(rows=len(result), rows_fetched=result.rows_fetched)
+            return result
+        return self._fetch_boxes(boxes)
+
+    def _fetch_boxes(self, boxes: Iterable[Box]) -> RangeResult:
         all_points: List[np.ndarray] = []
         all_rows: List[np.ndarray] = []
         fetched = 0
@@ -263,6 +308,13 @@ class DiskTable:
 
     def full_scan(self) -> RangeResult:
         """Sequentially scan the whole table."""
+        if self.obs.enabled:
+            self.obs.metrics.inc("table_full_scans_total")
+            with self.obs.tracer.span("table.full_scan", rows=self.n):
+                return self._execute_full_scan()
+        return self._execute_full_scan()
+
+    def _execute_full_scan(self) -> RangeResult:
         self.stats.full_scans += 1
         n_pages = self.n_pages
         self.stats.pages_read += n_pages

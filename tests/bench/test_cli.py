@@ -26,3 +26,28 @@ class TestCli:
 
     def test_json_without_path(self, capsys):
         assert main(["--json"]) == 2
+
+    def test_obs_writes_artifacts_and_report(self, capsys, tmp_path):
+        import json
+
+        obs_dir = tmp_path / "obs"
+        assert main(["--obs", str(obs_dir), "--obs-report", "fig11a"]) == 0
+        out = capsys.readouterr().out
+        assert "observability report" in out
+        assert "Cache lookups per strategy" in out
+
+        metrics = json.loads((obs_dir / "metrics.json").read_text())
+        assert {"counters", "gauges", "histograms"} <= set(metrics)
+        assert any(c["name"] == "queries_total" for c in metrics["counters"])
+
+        trace_lines = (obs_dir / "trace.jsonl").read_text().strip().splitlines()
+        assert trace_lines
+        spans = [json.loads(line) for line in trace_lines]
+        assert any(s["name"] == "cbcs.query" for s in spans)
+
+    def test_obs_report_alone_prints_summary(self, capsys):
+        assert main(["--obs-report", "fig11a"]) == 0
+        assert "observability report" in capsys.readouterr().out
+
+    def test_obs_without_path(self, capsys):
+        assert main(["--obs"]) == 2

@@ -1,0 +1,146 @@
+"""Tests for the labeled metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    HistogramData,
+    MetricsRegistry,
+    NullMetrics,
+    render_key,
+)
+
+
+class TestCounters:
+    def test_labels_split_series(self):
+        reg = MetricsRegistry()
+        reg.inc("cache_lookups_total", strategy="MaxOverlap", outcome="hit")
+        reg.inc("cache_lookups_total", strategy="MaxOverlap", outcome="hit")
+        reg.inc("cache_lookups_total", strategy="MaxOverlap", outcome="miss")
+        assert (
+            reg.counter_value(
+                "cache_lookups_total", strategy="MaxOverlap", outcome="hit"
+            )
+            == 2.0
+        )
+        assert (
+            reg.counter_value(
+                "cache_lookups_total", strategy="MaxOverlap", outcome="miss"
+            )
+            == 1.0
+        )
+        assert reg.counter_total("cache_lookups_total") == 3.0
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.inc("x_total", outcome="hit", strategy="S")
+        reg.inc("x_total", strategy="S", outcome="hit")
+        assert reg.counter_value("x_total", strategy="S", outcome="hit") == 2.0
+
+    def test_missing_series_reads_zero(self):
+        assert MetricsRegistry().counter_value("nope_total") == 0.0
+
+    def test_counters_iterates_labeled_series(self):
+        reg = MetricsRegistry()
+        reg.inc("q_total", 3, method="A")
+        reg.inc("q_total", method="B")
+        reg.inc("other_total", method="A")
+        series = dict(
+            (labels["method"], value) for labels, value in reg.counters("q_total")
+        )
+        assert series == {"A": 3.0, "B": 1.0}
+
+    def test_custom_amount(self):
+        reg = MetricsRegistry()
+        reg.inc("points_read_total", 120, method="Baseline")
+        reg.inc("points_read_total", 30, method="Baseline")
+        assert reg.counter_value("points_read_total", method="Baseline") == 150.0
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("cache_items", 3)
+        reg.set_gauge("cache_items", 5)
+        assert reg.gauge_value("cache_items") == 5.0
+        assert reg.gauge_value("absent") is None
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        for v in range(1, 101):
+            reg.observe("stage_ms", float(v), stage="skyline")
+        hist = reg.histogram("stage_ms", stage="skyline")
+        assert hist.count == 100
+        assert hist.min == 1.0 and hist.max == 100.0
+        assert hist.mean == pytest.approx(50.5)
+        assert hist.percentile(50) == pytest.approx(50.0, abs=1.0)
+        assert hist.percentile(95) == pytest.approx(95.0, abs=1.0)
+        summary = hist.summary()
+        assert set(summary) == {"count", "sum", "min", "max", "mean", "p50", "p95"}
+
+    def test_histogram_sample_cap_keeps_exact_aggregates(self):
+        hist = HistogramData(max_samples=10)
+        for v in range(100):
+            hist.observe(float(v))
+        assert hist.count == 100
+        assert hist.sum == pytest.approx(sum(range(100)))
+        assert hist.max == 99.0
+        # percentiles degrade to the retained prefix but stay defined
+        assert hist.percentile(50) <= 9.0
+
+    def test_empty_histogram(self):
+        hist = HistogramData()
+        assert hist.summary() == {"count": 0}
+        assert hist.percentile(50) != hist.percentile(50)  # NaN
+
+
+class TestExport:
+    def test_as_dict_round_trips_through_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.inc("queries_total", method="CBCS")
+        reg.set_gauge("cache_items", 2)
+        reg.observe("stage_ms", 1.5, stage="skyline")
+        path = tmp_path / "metrics.json"
+        reg.save_json(path)
+        loaded = json.loads(path.read_text())
+        assert loaded == reg.as_dict()
+        assert loaded["counters"][0] == {
+            "name": "queries_total",
+            "labels": {"method": "CBCS"},
+            "value": 1.0,
+        }
+        [hist] = loaded["histograms"]
+        assert hist["name"] == "stage_ms"
+        assert hist["count"] == 1
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("a_total")
+        reg.set_gauge("g", 1)
+        reg.observe("h", 1)
+        reg.reset()
+        snap = reg.as_dict()
+        assert snap == {"counters": [], "gauges": [], "histograms": []}
+
+    def test_render_key(self):
+        reg = MetricsRegistry()
+        reg.inc("x_total", b="2", a="1")
+        [(name, labels)] = list(reg._counters)
+        assert render_key(name, labels) == "x_total{a=1,b=2}"
+        assert render_key("bare_total", ()) == "bare_total"
+
+
+class TestNullMetrics:
+    def test_records_nothing(self):
+        null = NullMetrics()
+        null.inc("a_total", 5, method="X")
+        null.set_gauge("g", 1)
+        null.observe("h", 1.0)
+        assert null.as_dict() == {"counters": [], "gauges": [], "histograms": []}
+        assert null.counter_total("a_total") == 0.0
+
+    def test_shared_singleton_disabled(self):
+        assert NULL_METRICS.enabled is False
+        assert MetricsRegistry().enabled is True
