@@ -6,17 +6,23 @@ Usage::
     python -m repro.bench fig5a fig9b     # selected figures
     python -m repro.bench --json out.json fig5a   # also dump raw series
     python -m repro.bench --svg charts/ fig5a     # also render SVG charts
-    python -m repro.bench --obs out/ fig5a        # metrics.json + trace.jsonl
+    python -m repro.bench --obs out/ fig5a        # metrics.json + metrics.prom + trace.jsonl
     python -m repro.bench --obs-report fig5a      # print the obs summary
+    python -m repro.bench --query-log q.jsonl fig5a     # per-query structured log
+    python -m repro.bench --save-bench BENCH_ci.json fig5a   # performance snapshot
+    python -m repro.bench --baseline BENCH_old.json fig5a    # regression check
+    python -m repro.bench --audit fig5a           # plan-accuracy calibration
     REPRO_BENCH_SCALE=default python -m repro.bench
 
 Scales: quick (default; seconds per figure), default (minutes), full
 (closest to paper scale).  Results and the paper-vs-measured comparison are
-recorded in EXPERIMENTS.md.
+recorded in EXPERIMENTS.md; the performance trajectory lives in
+``BENCH_*.json`` snapshots (see ``repro.bench.regress``).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 import time
@@ -27,7 +33,7 @@ from repro.bench.harness import bench_scale
 from repro.obs import activate
 
 
-def _build_obs(obs_dir):
+def _build_obs(obs_dir, query_log=None):
     """Create an Observability writing trace.jsonl under ``obs_dir``."""
     from pathlib import Path
 
@@ -39,47 +45,93 @@ def _build_obs(obs_dir):
         out_dir = Path(obs_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
         obs.tracer.add_sink(JsonlSink(out_dir / "trace.jsonl"))
+    if query_log is not None:
+        obs.add_outcome_sink(JsonlSink(query_log))
     return obs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's figures as text tables.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        metavar="FIGURE",
+        help="figure ids to run (default: all); see --list",
+    )
+    parser.add_argument("--list", action="store_true", help="list figure ids and exit")
+    parser.add_argument("--json", metavar="PATH", help="dump raw series (and audit) as JSON")
+    parser.add_argument("--svg", metavar="DIR", help="render SVG charts into DIR")
+    parser.add_argument(
+        "--obs", metavar="DIR",
+        help="write metrics.json, metrics.prom and trace.jsonl into DIR",
+    )
+    parser.add_argument(
+        "--obs-report", action="store_true", help="print the observability summary"
+    )
+    parser.add_argument(
+        "--query-log", metavar="PATH",
+        help="append one structured JSON record per query to PATH",
+    )
+    parser.add_argument(
+        "--save-bench", metavar="PATH",
+        help="serialize this run as a BENCH_*.json snapshot "
+             "(PATH may be a file or a directory)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH",
+        help="compare this run against a saved snapshot; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--audit", action="store_true",
+        help="also run the plan-accuracy audit (explain-vs-execute calibration)",
+    )
+    return parser
 
 
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
-    argv = list(sys.argv[1:] if argv is None else argv)
-    json_path = None
-    svg_dir = None
-    obs_dir = None
-    obs_report = "--obs-report" in argv
-    if obs_report:
-        argv.remove("--obs-report")
-    for flag_name in ("--json", "--svg", "--obs"):
-        if flag_name in argv:
-            flag = argv.index(flag_name)
-            try:
-                value = argv[flag + 1]
-            except IndexError:
-                print(f"{flag_name} requires a path")
-                return 2
-            if flag_name == "--json":
-                json_path = value
-            elif flag_name == "--svg":
-                svg_dir = value
-            else:
-                obs_dir = value
-            del argv[flag : flag + 2]
-    names = argv or list(ALL_EXPERIMENTS)
+    parser = build_parser()
+    try:
+        opts = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
+    except SystemExit as exc:
+        return exc.code if isinstance(exc.code, int) else 2
+    if opts.list:
+        print("\n".join(ALL_EXPERIMENTS))
+        return 0
+    names = opts.figures or list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {unknown}; available: {list(ALL_EXPERIMENTS)}")
         return 2
 
+    snapshotting = opts.save_bench is not None or opts.baseline is not None
     obs = None
-    if obs_dir is not None or obs_report:
-        obs = _build_obs(obs_dir)
+    if (
+        opts.obs is not None
+        or opts.obs_report
+        or opts.query_log is not None
+        or snapshotting
+        or opts.audit
+    ):
+        obs = _build_obs(opts.obs, query_log=opts.query_log)
 
     print(f"# repro benchmark run (scale={bench_scale()})\n")
     dump = {"scale": bench_scale(), "figures": {}}
+    figure_summaries = {}
+    cumulative = obs.metrics if obs is not None else None
+    audit_summary = None
     with (activate(obs) if obs is not None else nullcontext()):
         for name in names:
+            if obs is not None:
+                # Fresh registry per figure: its distillate feeds the
+                # BENCH_*.json snapshot, then merges into the cumulative
+                # registry behind metrics.json / --obs-report.
+                from repro.obs import MetricsRegistry
+
+                obs.metrics = MetricsRegistry()
             start = time.perf_counter()
             report = ALL_EXPERIMENTS[name]()
             elapsed = time.perf_counter() - start
@@ -90,37 +142,98 @@ def main(argv=None) -> int:
                 "seconds": round(elapsed, 2),
                 "series": json.loads(json.dumps(report.series, default=float)),
             }
-            if svg_dir is not None:
+            if obs is not None:
+                from repro.bench.regress import summarize_registry
+
+                figure_summaries[name] = {
+                    "title": report.title,
+                    "seconds": round(elapsed, 2),
+                    **summarize_registry(obs.metrics),
+                }
+                cumulative.merge(obs.metrics)
+            if opts.svg is not None:
                 from pathlib import Path
 
                 from repro.bench.svg import render_figure
 
                 svg = render_figure(report)
                 if svg is not None:
-                    out_dir = Path(svg_dir)
+                    out_dir = Path(opts.svg)
                     out_dir.mkdir(parents=True, exist_ok=True)
                     target = out_dir / f"{name}.svg"
                     target.write_text(svg)
                     print(f"[chart written to {target}]")
-    if json_path is not None:
-        with open(json_path, "w") as handle:
+        if obs is not None:
+            obs.metrics = cumulative
+        if opts.audit:
+            from repro.obs.audit import render_summary, run_quick_audit
+
+            audit_summary, audit_records = run_quick_audit(
+                obs=obs, keep_plans=opts.json is not None
+            )
+            print("# plan-accuracy audit\n")
+            print(render_summary(audit_summary))
+            print()
+            if opts.json is not None:
+                dump["audit"] = {
+                    "summary": audit_summary,
+                    "records": [r.as_dict() for r in audit_records],
+                }
+    if opts.json is not None:
+        with open(opts.json, "w") as handle:
             json.dump(dump, handle, indent=2)
-        print(f"[series written to {json_path}]")
+        print(f"[series written to {opts.json}]")
+
+    exit_code = 0
+    if snapshotting:
+        from repro.bench.regress import (
+            SnapshotError,
+            build_snapshot,
+            compare_snapshots,
+            load_snapshot,
+            save_snapshot,
+        )
+
+        snapshot = build_snapshot(
+            scale=bench_scale(), figures=figure_summaries, audit=audit_summary
+        )
+        if opts.save_bench is not None:
+            written = save_snapshot(snapshot, opts.save_bench)
+            print(f"[bench snapshot written to {written}]")
+        if opts.baseline is not None:
+            try:
+                baseline = load_snapshot(opts.baseline)
+                regression = compare_snapshots(baseline, snapshot)
+            except SnapshotError as exc:
+                print(f"error: {exc}")
+                return 2
+            print()
+            print(regression.render_text())
+            if regression.has_regressions:
+                exit_code = 1
+
     if obs is not None:
         obs.close()
-        if obs_dir is not None:
+        if opts.obs is not None:
             from pathlib import Path
 
-            metrics_path = Path(obs_dir) / "metrics.json"
+            from repro.obs.export import save_openmetrics
+
+            out_dir = Path(opts.obs)
+            metrics_path = out_dir / "metrics.json"
             obs.metrics.save_json(metrics_path)
+            save_openmetrics(obs.metrics, out_dir / "metrics.prom")
             print(f"[metrics written to {metrics_path}]")
-            print(f"[trace written to {Path(obs_dir) / 'trace.jsonl'}]")
-        if obs_report:
+            print(f"[openmetrics written to {out_dir / 'metrics.prom'}]")
+            print(f"[trace written to {out_dir / 'trace.jsonl'}]")
+        if opts.query_log is not None:
+            print(f"[query log written to {opts.query_log}]")
+        if opts.obs_report:
             from repro.obs.report import render_report
 
             print("\n# observability report\n")
             print(render_report(obs.metrics))
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

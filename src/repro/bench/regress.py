@@ -1,0 +1,471 @@
+"""Benchmark snapshots and regression detection (``BENCH_*.json``).
+
+The paper's claims are quantitative -- CBCS reads fewer points and issues
+cheaper I/O than Baseline and BBS -- so the repo keeps a *performance
+trajectory*: every ``python -m repro.bench --save-bench`` run serializes a
+schema-versioned snapshot of per-figure, per-method means (total_ms,
+points_read, range_queries, cache hit rate, stage breakdown) plus scale and
+git revision, and this module compares two snapshots with noise-aware
+thresholds for CI gating.
+
+A regression requires **both** a relative excess and an absolute floor to
+trip, so sub-millisecond timing jitter on a 3 ms mean does not page anyone,
+while a genuine 2x blow-up in points read does:
+
+- timing metrics (``total_ms``) use ``rel_ms``/``abs_ms`` (wall-clock noise
+  on CI runners is large);
+- I/O metrics (``points_read``, ``range_queries``) use ``rel_io`` and their
+  own absolute floors (deterministic given seed and scale, so tight).
+
+Usage::
+
+    python -m repro.bench --save-bench BENCH_ci.json fig5a fig9a
+    python -m repro.bench --baseline benchmarks/BENCH_baseline_quick.json fig5a
+    python -m repro.bench.regress BENCH_old.json BENCH_new.json
+    python -m repro.bench.regress BENCH_old.json BENCH_new.json --json report.json
+
+The compare CLI exits 0 when no metric regresses beyond threshold, 1 on
+regression, and 2 on unreadable/incompatible snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+SCHEMA = "repro.bench.snapshot"
+SCHEMA_VERSION = 1
+
+#: Stages serialized into each method's ``stage_ms`` breakdown.
+STAGES = ("processing", "fetch_io", "fetch_wall", "skyline")
+
+
+class SnapshotError(ValueError):
+    """A snapshot file is missing, malformed, or schema-incompatible."""
+
+
+# ----------------------------------------------------------------------
+# Snapshot construction
+# ----------------------------------------------------------------------
+def summarize_registry(metrics) -> dict:
+    """Distill one figure's :class:`~repro.obs.metrics.MetricsRegistry` into
+    the per-method means the snapshot stores.
+
+    The registry is the source of truth: ``points_read_total{method=X}`` is
+    by construction the sum over X's ``QueryOutcome`` records, so snapshot
+    numbers reconcile exactly with the figure tables.
+    """
+    methods: Dict[str, dict] = {}
+    for labels, n in metrics.counters("queries_total"):
+        method = labels.get("method", "?")
+        if not n:
+            continue
+        hist = metrics.histogram("query_total_ms", method=method)
+        total_ms = (
+            {"mean": hist.mean, "p50": hist.percentile(50), "p95": hist.percentile(95)}
+            if hist is not None and hist.count
+            else {}
+        )
+        stage_ms = {}
+        for stage in STAGES:
+            sh = metrics.histogram("stage_ms", method=method, stage=stage)
+            if sh is not None and sh.count:
+                stage_ms[stage] = sh.mean
+        methods[method] = {
+            "queries": n,
+            "total_ms": total_ms,
+            "points_read": metrics.counter_value("points_read_total", method=method) / n,
+            "range_queries": metrics.counter_value("range_queries_total", method=method) / n,
+            "stage_ms": stage_ms,
+        }
+    hits = misses = 0.0
+    for labels, value in metrics.counters("cache_lookups_total"):
+        if labels.get("outcome") == "hit":
+            hits += value
+        else:
+            misses += value
+    lookups = hits + misses
+    return {
+        "methods": methods,
+        "cache": {
+            "lookups": lookups,
+            "hit_rate": (hits / lookups) if lookups else None,
+        },
+    }
+
+
+def git_rev() -> Optional[str]:
+    """Current git commit hash, or None outside a repository."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def build_snapshot(
+    scale: str,
+    figures: Dict[str, dict],
+    audit: Optional[dict] = None,
+    rev: Optional[str] = None,
+    run_id: Optional[str] = None,
+) -> dict:
+    """Assemble the schema-versioned snapshot dict for one bench run."""
+    rev = git_rev() if rev is None else rev
+    created_at = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+    if run_id is None:
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+        run_id = f"{stamp}-{(rev or 'norev')[:7]}"
+    snapshot = {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "run_id": run_id,
+        "created_at": created_at,
+        "scale": scale,
+        "git_rev": rev,
+        "figures": figures,
+    }
+    if audit is not None:
+        snapshot["audit"] = audit
+    return snapshot
+
+
+def default_snapshot_name(snapshot: dict) -> str:
+    return f"BENCH_{snapshot['run_id']}.json"
+
+
+def save_snapshot(snapshot: dict, path) -> str:
+    """Write a snapshot; a directory path gets ``BENCH_<runid>.json`` inside."""
+    from pathlib import Path
+
+    path = Path(path)
+    if path.is_dir() or (not path.suffix and not path.exists()):
+        path.mkdir(parents=True, exist_ok=True)
+        path = path / default_snapshot_name(snapshot)
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=2)
+    return str(path)
+
+
+def load_snapshot(path) -> dict:
+    """Load and schema-validate a ``BENCH_*.json`` snapshot."""
+    try:
+        with open(path) as handle:
+            snapshot = json.load(handle)
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"snapshot {path} is not valid JSON: {exc}") from exc
+    if not isinstance(snapshot, dict) or snapshot.get("schema") != SCHEMA:
+        raise SnapshotError(
+            f"snapshot {path} is not a {SCHEMA} file "
+            f"(schema={snapshot.get('schema') if isinstance(snapshot, dict) else None!r})"
+        )
+    version = snapshot.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SnapshotError(
+            f"snapshot {path} has schema_version={version!r}; "
+            f"this build reads version {SCHEMA_VERSION}"
+        )
+    if not isinstance(snapshot.get("figures"), dict):
+        raise SnapshotError(f"snapshot {path} has no figures mapping")
+    return snapshot
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Thresholds:
+    """Noise-aware regression thresholds.
+
+    A metric regresses only when the relative excess *and* the absolute
+    delta both exceed their bound; improvements are reported symmetrically
+    but never fail the check.
+    """
+
+    rel_ms: float = 0.30
+    rel_io: float = 0.10
+    abs_ms: float = 2.0
+    abs_points: float = 25.0
+    abs_range_queries: float = 0.5
+
+
+#: metric key -> (snapshot extractor, rel-threshold attr, abs-threshold attr)
+_METRICS = {
+    "total_ms": (lambda m: m.get("total_ms", {}).get("mean"), "rel_ms", "abs_ms"),
+    "points_read": (lambda m: m.get("points_read"), "rel_io", "abs_points"),
+    "range_queries": (
+        lambda m: m.get("range_queries"),
+        "rel_io",
+        "abs_range_queries",
+    ),
+}
+
+STATUS_OK = "ok"
+STATUS_REGRESSED = "regressed"
+STATUS_IMPROVED = "improved"
+STATUS_MISSING = "missing"
+STATUS_NEW = "new"
+
+
+@dataclass
+class Finding:
+    """One compared (figure, method, metric) cell."""
+
+    figure: str
+    method: str
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+    status: str
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.baseline is None or self.current is None:
+            return None
+        return self.current - self.baseline
+
+    @property
+    def rel_delta(self) -> Optional[float]:
+        if self.delta is None or not self.baseline:
+            return None
+        return self.delta / self.baseline
+
+    def as_dict(self) -> dict:
+        return {
+            "figure": self.figure,
+            "method": self.method,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "current": self.current,
+            "delta": self.delta,
+            "rel_delta": self.rel_delta,
+            "status": self.status,
+        }
+
+
+@dataclass
+class RegressionReport:
+    """The full outcome of comparing two snapshots."""
+
+    baseline_id: str
+    current_id: str
+    scale: str
+    thresholds: Thresholds
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[Finding]:
+        return [f for f in self.findings if f.status == STATUS_REGRESSED]
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions)
+
+    def as_dict(self) -> dict:
+        return {
+            "baseline_id": self.baseline_id,
+            "current_id": self.current_id,
+            "scale": self.scale,
+            "thresholds": {
+                "rel_ms": self.thresholds.rel_ms,
+                "rel_io": self.thresholds.rel_io,
+                "abs_ms": self.thresholds.abs_ms,
+                "abs_points": self.thresholds.abs_points,
+                "abs_range_queries": self.thresholds.abs_range_queries,
+            },
+            "has_regressions": self.has_regressions,
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    def render_text(self, verbose: bool = False) -> str:
+        """Aligned-table report; ``verbose`` includes within-noise rows."""
+        from repro.bench.reporting import format_table
+
+        interesting = [
+            f
+            for f in self.findings
+            if verbose or f.status != STATUS_OK
+        ]
+        header = (
+            f"# bench regression check: {self.current_id} vs baseline "
+            f"{self.baseline_id} (scale={self.scale})"
+        )
+        if not interesting:
+            return (
+                f"{header}\n"
+                f"OK: {len(self.findings)} compared metrics within thresholds"
+            )
+        rows = []
+        for f in sorted(
+            interesting, key=lambda f: (f.status != STATUS_REGRESSED, f.figure, f.method)
+        ):
+            rel = f"{f.rel_delta:+.1%}" if f.rel_delta is not None else "-"
+            rows.append(
+                [
+                    f.figure,
+                    f.method,
+                    f.metric,
+                    f.baseline if f.baseline is not None else float("nan"),
+                    f.current if f.current is not None else float("nan"),
+                    rel,
+                    f.status.upper() if f.status == STATUS_REGRESSED else f.status,
+                ]
+            )
+        table = format_table(
+            ["figure", "method", "metric", "baseline", "current", "delta", "status"],
+            rows,
+        )
+        verdict = (
+            f"FAIL: {len(self.regressions)} regression(s) beyond threshold"
+            if self.has_regressions
+            else f"OK: no regressions ({len(self.findings)} metrics compared)"
+        )
+        return f"{header}\n{table}\n{verdict}"
+
+
+def _classify(
+    baseline: float, current: float, rel_tol: float, abs_floor: float
+) -> str:
+    if current > baseline * (1.0 + rel_tol) and (current - baseline) > abs_floor:
+        return STATUS_REGRESSED
+    if current < baseline * (1.0 - rel_tol) and (baseline - current) > abs_floor:
+        return STATUS_IMPROVED
+    return STATUS_OK
+
+
+def compare_snapshots(
+    baseline: dict,
+    current: dict,
+    thresholds: Optional[Thresholds] = None,
+    require_same_scale: bool = True,
+) -> RegressionReport:
+    """Compare two loaded snapshots; returns the per-metric findings."""
+    thresholds = thresholds or Thresholds()
+    if require_same_scale and baseline.get("scale") != current.get("scale"):
+        raise SnapshotError(
+            f"scale mismatch: baseline ran at {baseline.get('scale')!r}, "
+            f"current at {current.get('scale')!r} -- numbers are not comparable "
+            f"(pass --allow-scale-mismatch to override)"
+        )
+    report = RegressionReport(
+        baseline_id=str(baseline.get("run_id")),
+        current_id=str(current.get("run_id")),
+        scale=str(current.get("scale")),
+        thresholds=thresholds,
+    )
+    base_figures = baseline.get("figures", {})
+    cur_figures = current.get("figures", {})
+    for fig_name, base_fig in sorted(base_figures.items()):
+        cur_fig = cur_figures.get(fig_name)
+        base_methods = base_fig.get("methods", {})
+        if cur_fig is None:
+            for method in sorted(base_methods):
+                report.findings.append(
+                    Finding(fig_name, method, "*", None, None, STATUS_MISSING)
+                )
+            continue
+        cur_methods = cur_fig.get("methods", {})
+        for method, base_entry in sorted(base_methods.items()):
+            cur_entry = cur_methods.get(method)
+            if cur_entry is None:
+                report.findings.append(
+                    Finding(fig_name, method, "*", None, None, STATUS_MISSING)
+                )
+                continue
+            for metric, (extract, rel_attr, abs_attr) in _METRICS.items():
+                b, c = extract(base_entry), extract(cur_entry)
+                if b is None or c is None or b != b or c != c:
+                    continue
+                status = _classify(
+                    float(b),
+                    float(c),
+                    getattr(thresholds, rel_attr),
+                    getattr(thresholds, abs_attr),
+                )
+                report.findings.append(
+                    Finding(fig_name, method, metric, float(b), float(c), status)
+                )
+        for method in sorted(set(cur_methods) - set(base_methods)):
+            report.findings.append(
+                Finding(fig_name, method, "*", None, None, STATUS_NEW)
+            )
+    for fig_name in sorted(set(cur_figures) - set(base_figures)):
+        report.findings.append(Finding(fig_name, "*", "*", None, None, STATUS_NEW))
+    return report
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    """CLI: compare two ``BENCH_*.json`` snapshots; non-zero on regression."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.regress",
+        description="Compare two BENCH_*.json snapshots with noise-aware thresholds.",
+    )
+    parser.add_argument("baseline", metavar="BASELINE_JSON")
+    parser.add_argument("current", metavar="CURRENT_JSON")
+    defaults = Thresholds()
+    parser.add_argument("--rel-ms", type=float, default=defaults.rel_ms,
+                        help=f"relative tolerance for total_ms (default {defaults.rel_ms})")
+    parser.add_argument("--rel-io", type=float, default=defaults.rel_io,
+                        help=f"relative tolerance for I/O metrics (default {defaults.rel_io})")
+    parser.add_argument("--abs-ms", type=float, default=defaults.abs_ms,
+                        help=f"absolute floor for total_ms deltas (default {defaults.abs_ms})")
+    parser.add_argument("--abs-points", type=float, default=defaults.abs_points,
+                        help=f"absolute floor for points_read deltas (default {defaults.abs_points})")
+    parser.add_argument("--abs-rq", type=float, default=defaults.abs_range_queries,
+                        help=f"absolute floor for range_queries deltas (default {defaults.abs_range_queries})")
+    parser.add_argument("--json", metavar="PATH", help="also write the report as JSON")
+    parser.add_argument("--verbose", action="store_true",
+                        help="list within-noise metrics too")
+    parser.add_argument("--allow-scale-mismatch", action="store_true",
+                        help="compare snapshots from different REPRO_BENCH_SCALEs")
+    try:
+        opts = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
+    except SystemExit as exc:
+        return exc.code if isinstance(exc.code, int) else 2
+
+    thresholds = Thresholds(
+        rel_ms=opts.rel_ms,
+        rel_io=opts.rel_io,
+        abs_ms=opts.abs_ms,
+        abs_points=opts.abs_points,
+        abs_range_queries=opts.abs_rq,
+    )
+    try:
+        baseline = load_snapshot(opts.baseline)
+        current = load_snapshot(opts.current)
+        report = compare_snapshots(
+            baseline,
+            current,
+            thresholds,
+            require_same_scale=not opts.allow_scale_mismatch,
+        )
+    except SnapshotError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(report.render_text(verbose=opts.verbose))
+    if opts.json:
+        with open(opts.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+        print(f"[report written to {opts.json}]")
+    return 1 if report.has_regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

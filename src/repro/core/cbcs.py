@@ -16,6 +16,7 @@ of the skyline algorithm used").  Every query returns a
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -25,6 +26,7 @@ from repro.core.ampr import ApproximateMPR
 from repro.core.cache import SkylineCache
 from repro.core.cases import CASE_EXACT, classify_change
 from repro.core.strategies import CacheSearchStrategy, MaxOverlapSP
+from repro.geometry.box import Box
 from repro.geometry.constraints import Constraints
 from repro.obs import NULL_OBS
 from repro.skyline.sfs import sfs_skyline
@@ -32,6 +34,21 @@ from repro.stats import QueryOutcome, Stopwatch
 from repro.storage.table import DiskTable
 
 CASE_MISS = "miss"
+
+
+def _box_to_dict(box: Box) -> dict:
+    """Serialize a box as per-dimension interval dicts (None = unbounded)."""
+    return {
+        "intervals": [
+            {
+                "lo": None if math.isinf(iv.lo) else iv.lo,
+                "hi": None if math.isinf(iv.hi) else iv.hi,
+                "lo_open": iv.lo_open,
+                "hi_open": iv.hi_open,
+            }
+            for iv in box.intervals
+        ]
+    }
 
 
 @dataclass
@@ -52,7 +69,26 @@ class QueryPlan:
     reusable_points: int
     range_queries: int
     estimated_points: int
-    boxes: List = field(default_factory=list)
+    boxes: List[Box] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable rendering of the plan.
+
+        Infinite box bounds become ``None`` so the result round-trips
+        through strict JSON; used by the plan-accuracy audit
+        (:mod:`repro.obs.audit`) and the bench ``--json`` dump.
+        """
+        return {
+            "case": self.case,
+            "cache_hit": self.cache_hit,
+            "stable": self.stable,
+            "candidates": self.candidates,
+            "item_id": self.item_id,
+            "reusable_points": self.reusable_points,
+            "range_queries": self.range_queries,
+            "estimated_points": self.estimated_points,
+            "boxes": [_box_to_dict(box) for box in self.boxes],
+        }
 
     def summary(self) -> str:
         """One-line human-readable rendering."""

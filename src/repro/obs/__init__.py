@@ -78,6 +78,19 @@ class Observability:
     ):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        self.outcome_sinks: list = []
+
+    def add_outcome_sink(self, sink) -> "Observability":
+        """Register a per-query structured-log sink.
+
+        ``sink`` needs one method, ``emit(record)``; each finished query's
+        :meth:`~repro.stats.QueryOutcome.as_record` dict is pushed to every
+        registered sink from :meth:`record_outcome`.  A
+        :class:`~repro.obs.sinks.JsonlSink` turns this into a
+        ``queries.jsonl`` structured log.
+        """
+        self.outcome_sinks.append(sink)
+        return self
 
     # ------------------------------------------------------------------
     # Query-outcome aggregation
@@ -117,10 +130,18 @@ class Observability:
         m.observe("stage_ms", t.skyline_ms, method=method, stage="skyline")
         m.observe("query_total_ms", t.total_ms, method=method)
         m.observe("skyline_size", outcome.skyline_size, method=method)
+        if self.outcome_sinks:
+            record = outcome.as_record()
+            for sink in self.outcome_sinks:
+                sink.emit(record)
 
     def close(self) -> None:
-        """Flush/close the tracer's sinks."""
+        """Flush/close the tracer's sinks and any outcome sinks."""
         self.tracer.close()
+        for sink in self.outcome_sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
 
     def __repr__(self) -> str:
         return f"Observability(metrics={self.metrics!r}, sinks={len(self.tracer.sinks)})"

@@ -1,0 +1,283 @@
+"""Plan-accuracy audit: does ``CBCS.explain`` predict what ``query`` does?
+
+Every paper comparison rests on the engine's cost reasoning -- the case
+classification (Section 4.2), the MPR decomposition's range-query count, and
+the selectivity estimates feeding :class:`~repro.storage.costmodel.DiskCostModel`
+arguments.  ``CBCS.explain()`` exposes those predictions, but nothing in the
+repo ever checked them against reality.  This module runs a workload calling
+``explain()`` immediately before each ``query()`` and reports calibration:
+
+- **case accuracy** -- fraction of queries whose predicted case (miss /
+  exact / case_a..d / general_*) matched the executed one (should be 100%:
+  both paths run the same deterministic cache search and region computer);
+- **range-query accuracy** -- same for the number of range queries issued;
+- **estimated-points relative error** -- ``|estimated - actual| /
+  max(actual, 1)`` per query, summarized as the mean absolute relative
+  error (MARE) of the selectivity estimator.
+
+Results flow into the metrics registry (``plan_case_predictions_total``,
+``plan_range_query_predictions_total``, ``plan_points_rel_error``) so they
+appear in ``--obs-report`` and OpenMetrics exports, and into a plain dict
+summary used by the bench ``--audit`` flag and ``BENCH_*.json`` snapshots.
+
+Usage::
+
+    python -m repro.obs.audit                    # quick seeded workload
+    python -m repro.obs.audit --queries 200 --workload independent
+    python -m repro.bench --audit --save-bench BENCH_ci.json fig5a
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs import NULL_OBS, current as current_obs
+
+
+@dataclass
+class AuditRecord:
+    """Predicted-vs-actual evidence for one audited query."""
+
+    index: int
+    predicted_case: str
+    actual_case: Optional[str]
+    predicted_range_queries: int
+    actual_range_queries: int
+    estimated_points: int
+    actual_points_read: int
+    cache_hit: bool
+    plan: dict = field(default_factory=dict)
+
+    @property
+    def case_match(self) -> bool:
+        return self.predicted_case == self.actual_case
+
+    @property
+    def range_queries_match(self) -> bool:
+        return self.predicted_range_queries == self.actual_range_queries
+
+    @property
+    def points_rel_error(self) -> float:
+        return abs(self.estimated_points - self.actual_points_read) / max(
+            self.actual_points_read, 1
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "predicted_case": self.predicted_case,
+            "actual_case": self.actual_case,
+            "case_match": self.case_match,
+            "predicted_range_queries": self.predicted_range_queries,
+            "actual_range_queries": self.actual_range_queries,
+            "range_queries_match": self.range_queries_match,
+            "estimated_points": self.estimated_points,
+            "actual_points_read": self.actual_points_read,
+            "points_rel_error": self.points_rel_error,
+            "cache_hit": self.cache_hit,
+            "plan": self.plan,
+        }
+
+
+class PlanAccuracyAuditor:
+    """Runs ``explain()`` before each ``query()`` and scores the plan.
+
+    The engine must use a deterministic cache-search strategy (every
+    built-in except :class:`~repro.core.strategies.RandomStrategy` is), so
+    that the dry run and the execution select the same cache item.
+    """
+
+    def __init__(self, engine, obs=None, keep_plans: bool = False):
+        self.engine = engine
+        if obs is None:
+            obs = engine.obs if engine.obs.enabled else current_obs()
+        self.obs = NULL_OBS if obs is None else obs
+        self.keep_plans = keep_plans
+        self.records: List[AuditRecord] = []
+
+    def audit_query(self, constraints) -> AuditRecord:
+        """Explain, then execute, one query; record the comparison."""
+        plan = self.engine.explain(constraints)
+        outcome = self.engine.query(constraints)
+        record = AuditRecord(
+            index=len(self.records),
+            predicted_case=plan.case,
+            actual_case=outcome.case,
+            predicted_range_queries=plan.range_queries,
+            actual_range_queries=outcome.range_queries,
+            estimated_points=plan.estimated_points,
+            actual_points_read=outcome.points_read,
+            cache_hit=outcome.cache_hit,
+            plan=plan.to_dict() if self.keep_plans else {},
+        )
+        self.records.append(record)
+        m = self.obs.metrics
+        m.inc(
+            "plan_case_predictions_total",
+            outcome="correct" if record.case_match else "wrong",
+        )
+        m.inc(
+            "plan_range_query_predictions_total",
+            outcome="correct" if record.range_queries_match else "wrong",
+        )
+        m.observe("plan_points_rel_error", record.points_rel_error)
+        return record
+
+    def run(self, queries: Sequence) -> List[AuditRecord]:
+        """Audit every query in order; returns the new records."""
+        start = len(self.records)
+        for constraints in queries:
+            self.audit_query(constraints)
+        return self.records[start:]
+
+    def summary(self) -> dict:
+        """Aggregate calibration metrics over every audited query."""
+        n = len(self.records)
+        if not n:
+            return {"queries": 0}
+        case_ok = sum(r.case_match for r in self.records)
+        rq_ok = sum(r.range_queries_match for r in self.records)
+        errors = [r.points_rel_error for r in self.records]
+        by_case: Dict[str, Dict[str, int]] = {}
+        for r in self.records:
+            entry = by_case.setdefault(
+                r.predicted_case, {"count": 0, "correct": 0}
+            )
+            entry["count"] += 1
+            entry["correct"] += int(r.case_match)
+        return {
+            "queries": n,
+            "case_accuracy": case_ok / n,
+            "range_query_accuracy": rq_ok / n,
+            "points_mare": sum(errors) / n,
+            "points_rel_error_max": max(errors),
+            "mean_estimated_points": sum(r.estimated_points for r in self.records) / n,
+            "mean_actual_points": sum(r.actual_points_read for r in self.records) / n,
+            "by_case": by_case,
+        }
+
+
+def run_quick_audit(
+    n_points: int = 4000,
+    ndim: int = 3,
+    n_queries: int = 60,
+    exact_repeats: int = 5,
+    seed: int = 0,
+    distribution: str = "independent",
+    workload: str = "interactive",
+    obs=None,
+    keep_plans: bool = False,
+):
+    """Build a seeded CBCS engine, audit a workload, return (summary, records).
+
+    The workload is an exploratory (or independent) stream plus
+    ``exact_repeats`` verbatim repeats of earlier queries, so the audit
+    always exercises misses, hits, *and* the exact-match case.
+    """
+    from repro.core.cbcs import CBCS
+    from repro.data.generator import generate
+    from repro.storage.table import DiskTable
+    from repro.workload.generator import WorkloadGenerator
+
+    data = generate(distribution, n_points, ndim, seed=seed)
+    obs = current_obs() if obs is None else obs
+    engine = CBCS(DiskTable(data), obs=obs if obs.enabled else None)
+    gen = WorkloadGenerator(data, seed=seed + 1)
+    if workload == "independent":
+        queries = gen.independent_queries(n_queries)
+    else:
+        queries = gen.exploratory_stream(n_queries)
+    repeats = queries[: max(0, min(exact_repeats, len(queries)))]
+    auditor = PlanAccuracyAuditor(engine, obs=obs, keep_plans=keep_plans)
+    auditor.run(list(queries) + list(repeats))
+    return auditor.summary(), auditor.records
+
+
+def render_summary(summary: dict) -> str:
+    """Aligned-table rendering of :meth:`PlanAccuracyAuditor.summary`."""
+    from repro.bench.reporting import format_table
+
+    if not summary.get("queries"):
+        return "(no queries audited)"
+    rows = [
+        ["queries audited", summary["queries"]],
+        ["case accuracy", f"{summary['case_accuracy']:.1%}"],
+        ["range-query accuracy", f"{summary['range_query_accuracy']:.1%}"],
+        ["estimated-points MARE", f"{summary['points_mare']:.3f}"],
+        ["worst rel error", f"{summary['points_rel_error_max']:.3f}"],
+        ["mean estimated points", f"{summary['mean_estimated_points']:.1f}"],
+        ["mean actual points", f"{summary['mean_actual_points']:.1f}"],
+    ]
+    sections = [format_table(["metric", "value"], rows, title="Plan accuracy")]
+    case_rows = [
+        [case, entry["count"], entry["correct"]]
+        for case, entry in sorted(summary.get("by_case", {}).items())
+    ]
+    if case_rows:
+        sections.append(
+            format_table(
+                ["predicted case", "queries", "correct"],
+                case_rows,
+                title="Per-case prediction accuracy",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def main(argv=None) -> int:
+    """CLI: run the audit on a seeded workload and print calibration."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.audit",
+        description="Audit CBCS.explain() predictions against executed queries.",
+    )
+    parser.add_argument("--points", type=int, default=4000)
+    parser.add_argument("--dims", type=int, default=3)
+    parser.add_argument("--queries", type=int, default=60)
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="verbatim repeats appended to exercise exact matches")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--distribution", default="independent",
+                        choices=["independent", "correlated", "anticorrelated"])
+    parser.add_argument("--workload", default="interactive",
+                        choices=["interactive", "independent"])
+    parser.add_argument("--json", metavar="PATH",
+                        help="also dump summary + per-query records (with plans)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 unless case accuracy is 100%%")
+    try:
+        opts = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
+    except SystemExit as exc:
+        return exc.code if isinstance(exc.code, int) else 2
+
+    summary, records = run_quick_audit(
+        n_points=opts.points,
+        ndim=opts.dims,
+        n_queries=opts.queries,
+        exact_repeats=opts.repeats,
+        seed=opts.seed,
+        distribution=opts.distribution,
+        workload=opts.workload,
+        keep_plans=opts.json is not None,
+    )
+    print(render_summary(summary))
+    if opts.json:
+        with open(opts.json, "w") as handle:
+            json.dump(
+                {"summary": summary, "records": [r.as_dict() for r in records]},
+                handle,
+                indent=2,
+            )
+        print(f"\n[audit records written to {opts.json}]")
+    if opts.strict and summary.get("case_accuracy", 0.0) < 1.0:
+        print("plan-accuracy audit FAILED: case predictions diverged from execution")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,168 @@
+"""OpenMetrics/Prometheus text rendering of a metrics snapshot.
+
+The same :class:`~repro.obs.metrics.MetricsRegistry` that drives the bench
+reports and ``BENCH_*.json`` snapshots can be scraped from a long-running
+deployment: :func:`render_openmetrics` turns a registry (or a saved
+``metrics.json`` snapshot) into the OpenMetrics text exposition format --
+counters and gauges verbatim, histograms as summaries with ``quantile``
+labels (p50/p95) plus ``_count`` and ``_sum`` series.
+
+Usage::
+
+    from repro.obs.export import render_openmetrics
+    text = render_openmetrics(obs.metrics)          # scrape endpoint body
+
+    python -m repro.obs.export out/metrics.json     # convert a saved snapshot
+    python -m repro.bench --obs out fig5a           # also writes out/metrics.prom
+
+Metric names get a ``repro_`` prefix and are sanitized to the
+``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset; label values are escaped per the
+spec (backslash, double quote, newline).  The output ends with ``# EOF``
+as OpenMetrics requires.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from typing import Dict, Iterable, List, Tuple
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize_name(name: str, prefix: str) -> str:
+    """Prefixed, charset-safe metric name."""
+    name = _NAME_OK.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return prefix + name
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: Dict[str, str], extra: Iterable[Tuple[str, str]] = ()) -> str:
+    pairs = [(k, str(v)) for k, v in sorted(labels.items())] + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{_NAME_OK.sub("_", k)}="{_escape_label_value(v)}"' for k, v in pairs
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _snapshot(metrics) -> dict:
+    """Accept a MetricsRegistry, an ``as_dict()`` snapshot, or a JSON path."""
+    if hasattr(metrics, "as_dict"):
+        return metrics.as_dict()
+    if isinstance(metrics, (str, bytes)) or hasattr(metrics, "read_text"):
+        with open(metrics) as handle:
+            return json.load(handle)
+    return metrics
+
+
+def render_openmetrics(metrics, prefix: str = "repro_") -> str:
+    """Render a metrics snapshot in the OpenMetrics text format."""
+    snap = _snapshot(metrics)
+    lines: List[str] = []
+
+    by_name: Dict[str, List[dict]] = {}
+    for rec in snap.get("counters", []):
+        by_name.setdefault(rec["name"], []).append(rec)
+    for name in sorted(by_name):
+        # Prometheus counters end in ``_total``; the TYPE line names the
+        # family without the suffix.
+        total_name = name if name.endswith("_total") else name + "_total"
+        family = _sanitize_name(total_name[: -len("_total")], prefix)
+        lines.append(f"# TYPE {family} counter")
+        for rec in by_name[name]:
+            labels = _format_labels(rec.get("labels", {}))
+            lines.append(f"{family}_total{labels} {_format_value(rec['value'])}")
+
+    by_name = {}
+    for rec in snap.get("gauges", []):
+        by_name.setdefault(rec["name"], []).append(rec)
+    for name in sorted(by_name):
+        family = _sanitize_name(name, prefix)
+        lines.append(f"# TYPE {family} gauge")
+        for rec in by_name[name]:
+            labels = _format_labels(rec.get("labels", {}))
+            lines.append(f"{family}{labels} {_format_value(rec['value'])}")
+
+    by_name = {}
+    for rec in snap.get("histograms", []):
+        by_name.setdefault(rec["name"], []).append(rec)
+    for name in sorted(by_name):
+        family = _sanitize_name(name, prefix)
+        lines.append(f"# TYPE {family} summary")
+        for rec in by_name[name]:
+            labels = rec.get("labels", {})
+            for q_label, key in (("0.5", "p50"), ("0.95", "p95")):
+                if key in rec:
+                    q_labels = _format_labels(labels, [("quantile", q_label)])
+                    lines.append(f"{family}{q_labels} {_format_value(rec[key])}")
+            plain = _format_labels(labels)
+            lines.append(f"{family}_count{plain} {_format_value(rec.get('count', 0))}")
+            lines.append(f"{family}_sum{plain} {_format_value(rec.get('sum', 0.0))}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def save_openmetrics(metrics, path, prefix: str = "repro_") -> None:
+    """Write :func:`render_openmetrics` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(render_openmetrics(metrics, prefix=prefix))
+
+
+def main(argv=None) -> int:
+    """CLI: convert a saved ``metrics.json`` to OpenMetrics text."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.export",
+        description="Render a saved metrics.json snapshot as OpenMetrics text.",
+    )
+    parser.add_argument("snapshot", metavar="METRICS_JSON")
+    parser.add_argument("-o", "--output", metavar="PATH", help="write here instead of stdout")
+    parser.add_argument("--prefix", default="repro_", help="metric name prefix (default: repro_)")
+    try:
+        opts = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
+    except SystemExit as exc:
+        return exc.code if isinstance(exc.code, int) else 2
+    try:
+        text = render_openmetrics(opts.snapshot, prefix=opts.prefix)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read metrics snapshot {opts.snapshot}: {exc}")
+        return 2
+    if opts.output:
+        with open(opts.output, "w") as handle:
+            handle.write(text)
+        print(f"[openmetrics written to {opts.output}]")
+    else:
+        print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

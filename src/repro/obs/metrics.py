@@ -88,6 +88,21 @@ class HistogramData:
             "p95": self.percentile(95),
         }
 
+    def merge(self, other: "HistogramData") -> None:
+        """Fold another histogram's observations into this one.
+
+        Summary statistics stay exact; retained samples are concatenated up
+        to this histogram's ``max_samples`` cap.
+        """
+        self.count += other.count
+        self.sum += other.sum
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        room = self._max_samples - len(self._values)
+        if room > 0:
+            self._values.extend(other._values[:room])
+
 
 class MetricsRegistry:
     """Engine-wide store of labeled counters, gauges, and histograms."""
@@ -126,6 +141,24 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one.
+
+        Counters add, gauges take the other registry's (newer) value, and
+        histograms merge observation-by-observation.  Used by the benchmark
+        CLI to keep per-figure registries (for ``BENCH_*.json`` snapshots)
+        while still producing one cumulative ``metrics.json`` per run.
+        """
+        for key, value in other._counters.items():
+            self._counters[key] = self._counters.get(key, 0.0) + value
+        self._gauges.update(other._gauges)
+        for key, hist in other._histograms.items():
+            mine = self._histograms.get(key)
+            if mine is None:
+                mine = HistogramData(self._max_histogram_samples)
+                self._histograms[key] = mine
+            mine.merge(hist)
 
     # ------------------------------------------------------------------
     # Reading

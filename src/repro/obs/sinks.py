@@ -48,7 +48,14 @@ class RingBufferSink:
 
 
 class JsonlSink:
-    """Append one JSON line per span to a file (opened lazily)."""
+    """Append one JSON line per span to a file (opened lazily).
+
+    Every emitted line is flushed to the OS immediately, so the file is
+    complete up to the last record even if the process exits without a
+    clean ``close()``.  The sink is also a context manager; re-emitting
+    after ``close()`` reopens the file in append mode rather than
+    truncating what was already written.
+    """
 
     def __init__(self, path):
         self.path = path
@@ -57,15 +64,27 @@ class JsonlSink:
 
     def emit(self, record: Dict[str, object]) -> None:
         if self._handle is None:
-            self._handle = open(self.path, "w")
+            self._handle = open(self.path, "a" if self.emitted else "w")
         json.dump(record, self._handle, default=_jsonable)
         self._handle.write("\n")
+        self._handle.flush()
         self.emitted += 1
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
 
     def close(self) -> None:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
 
 class LoggingSink:

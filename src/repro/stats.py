@@ -48,6 +48,10 @@ class StageTimings:
             + self.skyline_ms
         )
 
+    def as_dict(self) -> dict:
+        """Per-stage milliseconds keyed by field name (JSON-serializable)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
 
 @dataclass
 class QueryOutcome:
@@ -81,6 +85,26 @@ class QueryOutcome:
     @property
     def nonempty_queries(self) -> int:
         return self.io.range_queries - self.io.empty_queries
+
+    def as_record(self) -> dict:
+        """One flat, JSON-serializable record of this query's evidence.
+
+        This is the per-query structured-log schema: everything except the
+        skyline points themselves (only their count), suitable for a JSONL
+        sink (``repro.obs.Observability.add_outcome_sink``) or any log
+        aggregator.
+        """
+        return {
+            "method": self.method,
+            "case": self.case,
+            "stable": self.stable,
+            "cache_hit": self.cache_hit,
+            "skyline_size": self.skyline_size,
+            "total_ms": self.total_ms,
+            "timings": self.timings.as_dict(),
+            "io": self.io.as_dict(),
+            "nodes_accessed": self.nodes_accessed,
+        }
 
 
 #: Valid Stopwatch stage names: exactly the ``*_ms`` *fields* of

@@ -51,3 +51,67 @@ class TestCli:
 
     def test_obs_without_path(self, capsys):
         assert main(["--obs"]) == 2
+
+    def test_unknown_flag_is_usage_error(self, capsys):
+        assert main(["--bogus-flag", "fig11a"]) == 2
+
+    def test_list_prints_figure_ids(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5a" in out and "fig11a" in out
+
+    def test_obs_writes_openmetrics(self, capsys, tmp_path):
+        obs_dir = tmp_path / "obs"
+        assert main(["--obs", str(obs_dir), "fig11a"]) == 0
+        prom = (obs_dir / "metrics.prom").read_text()
+        assert "# TYPE repro_queries counter" in prom
+        assert prom.endswith("# EOF\n")
+
+    def test_query_log_streams_outcomes(self, capsys, tmp_path):
+        import json
+
+        log = tmp_path / "queries.jsonl"
+        assert main(["--query-log", str(log), "fig11a"]) == 0
+        records = [json.loads(line) for line in log.read_text().splitlines()]
+        assert records
+        assert {"method", "case", "total_ms", "io"} <= set(records[0])
+
+    def test_save_bench_writes_schema_versioned_snapshot(self, capsys, tmp_path):
+        import json
+
+        from repro.bench.regress import SCHEMA, SCHEMA_VERSION
+
+        path = tmp_path / "BENCH_ci.json"
+        assert main(["--save-bench", str(path), "fig11a"]) == 0
+        snap = json.loads(path.read_text())
+        assert snap["schema"] == SCHEMA
+        assert snap["schema_version"] == SCHEMA_VERSION
+        assert snap["scale"] == "quick"
+        methods = snap["figures"]["fig11a"]["methods"]
+        assert methods, "snapshot recorded no methods"
+        entry = next(iter(methods.values()))
+        assert {"queries", "total_ms", "points_read", "range_queries", "stage_ms"} <= set(entry)
+
+    def test_baseline_self_comparison_passes(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_base.json"
+        assert main(["--save-bench", str(path), "fig11a"]) == 0
+        assert main(["--baseline", str(path), "fig11a"]) == 0
+        out = capsys.readouterr().out
+        assert "bench regression check" in out
+
+    def test_baseline_with_bad_snapshot_errors(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["--baseline", str(bad), "fig11a"]) == 2
+
+    def test_audit_flag_reports_and_dumps(self, capsys, tmp_path):
+        import json
+
+        out_json = tmp_path / "out.json"
+        assert main(["--audit", "--json", str(out_json), "fig11a"]) == 0
+        out = capsys.readouterr().out
+        assert "plan-accuracy audit" in out
+        assert "case accuracy" in out
+        dump = json.loads(out_json.read_text())
+        assert dump["audit"]["summary"]["case_accuracy"] == 1.0
+        assert dump["audit"]["records"][0]["plan"] is not None

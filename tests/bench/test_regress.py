@@ -1,0 +1,200 @@
+"""Tests for benchmark snapshots and regression detection."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.regress import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    SnapshotError,
+    Thresholds,
+    build_snapshot,
+    compare_snapshots,
+    load_snapshot,
+    main,
+    save_snapshot,
+    summarize_registry,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def registry_for(method="Baseline", n=10, ms=8.0, points=100.0, rq=2.0):
+    reg = MetricsRegistry()
+    reg.inc("queries_total", n, method=method)
+    reg.inc("points_read_total", points * n, method=method)
+    reg.inc("range_queries_total", rq * n, method=method)
+    for _ in range(n):
+        reg.observe("query_total_ms", ms, method=method)
+        reg.observe("stage_ms", ms / 2, method=method, stage="processing")
+    reg.inc("cache_lookups_total", 6, strategy="MaxOverlapSP", outcome="hit")
+    reg.inc("cache_lookups_total", 4, strategy="MaxOverlapSP", outcome="miss")
+    return reg
+
+
+def snapshot_for(ms=8.0, points=100.0, rq=2.0, scale="quick", run_id="base"):
+    figures = {
+        "fig5a": {
+            "title": "t",
+            "seconds": 1.0,
+            **summarize_registry(registry_for(ms=ms, points=points, rq=rq)),
+        }
+    }
+    return build_snapshot(scale=scale, figures=figures, rev="deadbeef", run_id=run_id)
+
+
+class TestSummarizeRegistry:
+    def test_per_method_means(self):
+        summary = summarize_registry(registry_for())
+        entry = summary["methods"]["Baseline"]
+        assert entry["queries"] == 10
+        assert entry["total_ms"]["mean"] == pytest.approx(8.0)
+        assert entry["points_read"] == pytest.approx(100.0)
+        assert entry["range_queries"] == pytest.approx(2.0)
+        assert entry["stage_ms"]["processing"] == pytest.approx(4.0)
+        assert summary["cache"]["hit_rate"] == pytest.approx(0.6)
+
+    def test_empty_registry(self):
+        summary = summarize_registry(MetricsRegistry())
+        assert summary["methods"] == {}
+        assert summary["cache"]["hit_rate"] is None
+
+
+class TestSnapshotIO:
+    def test_schema_versioned_round_trip(self, tmp_path):
+        snap = snapshot_for()
+        assert snap["schema"] == SCHEMA
+        assert snap["schema_version"] == SCHEMA_VERSION
+        assert snap["git_rev"] == "deadbeef"
+        path = save_snapshot(snap, tmp_path / "BENCH_x.json")
+        assert load_snapshot(path) == json.loads(json.dumps(snap))
+
+    def test_directory_target_gets_runid_name(self, tmp_path):
+        snap = snapshot_for(run_id="r1")
+        path = save_snapshot(snap, tmp_path)
+        assert path.endswith("BENCH_r1.json")
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "other", "figures": {}}))
+        with pytest.raises(SnapshotError):
+            load_snapshot(bad)
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        snap = snapshot_for()
+        snap["schema_version"] = 999
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(snap))
+        with pytest.raises(SnapshotError, match="schema_version"):
+            load_snapshot(bad)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            load_snapshot(tmp_path / "nope.json")
+
+
+class TestCompare:
+    def test_identical_snapshots_pass(self):
+        report = compare_snapshots(snapshot_for(), snapshot_for(run_id="new"))
+        assert not report.has_regressions
+        assert all(f.status == "ok" for f in report.findings)
+        assert len(report.findings) == 3  # total_ms, points_read, range_queries
+
+    def test_noise_within_thresholds_passes(self):
+        # +20% on an 8 ms mean is inside rel_ms=0.30
+        report = compare_snapshots(snapshot_for(), snapshot_for(ms=9.6, run_id="new"))
+        assert not report.has_regressions
+
+    def test_timing_regression_requires_rel_and_abs(self):
+        # +50% but only +1.5 ms absolute: below abs_ms floor -> ok
+        report = compare_snapshots(
+            snapshot_for(ms=3.0), snapshot_for(ms=4.5, run_id="new")
+        )
+        assert not report.has_regressions
+        # +50% and +4 ms absolute: regression
+        report = compare_snapshots(
+            snapshot_for(ms=8.0), snapshot_for(ms=12.0, run_id="new")
+        )
+        assert [f.metric for f in report.regressions] == ["total_ms"]
+
+    def test_points_read_regression(self):
+        report = compare_snapshots(
+            snapshot_for(points=100.0), snapshot_for(points=150.0, run_id="new")
+        )
+        assert [f.metric for f in report.regressions] == ["points_read"]
+        finding = report.regressions[0]
+        assert finding.rel_delta == pytest.approx(0.5)
+
+    def test_improvement_is_flagged_not_failed(self):
+        report = compare_snapshots(
+            snapshot_for(points=100.0), snapshot_for(points=40.0, run_id="new")
+        )
+        assert not report.has_regressions
+        assert any(f.status == "improved" for f in report.findings)
+
+    def test_missing_method_and_figure_reported(self):
+        base = snapshot_for()
+        cur = copy.deepcopy(snapshot_for(run_id="new"))
+        del cur["figures"]["fig5a"]["methods"]["Baseline"]
+        report = compare_snapshots(base, cur)
+        assert any(f.status == "missing" for f in report.findings)
+        cur["figures"] = {}
+        report = compare_snapshots(base, cur)
+        assert any(f.status == "missing" for f in report.findings)
+
+    def test_scale_mismatch_rejected(self):
+        with pytest.raises(SnapshotError, match="scale mismatch"):
+            compare_snapshots(snapshot_for(), snapshot_for(scale="full", run_id="n"))
+        report = compare_snapshots(
+            snapshot_for(),
+            snapshot_for(scale="full", run_id="n"),
+            require_same_scale=False,
+        )
+        assert report.findings
+
+    def test_render_and_as_dict(self):
+        report = compare_snapshots(
+            snapshot_for(ms=8.0), snapshot_for(ms=20.0, run_id="new")
+        )
+        text = report.render_text()
+        assert "REGRESSED" in text and "FAIL" in text
+        payload = report.as_dict()
+        assert payload["has_regressions"] is True
+        json.dumps(payload)
+        ok = compare_snapshots(snapshot_for(), snapshot_for(run_id="new"))
+        assert "OK" in ok.render_text()
+
+
+class TestRegressCli:
+    def write(self, tmp_path, name, **kwargs):
+        path = tmp_path / name
+        path.write_text(json.dumps(snapshot_for(**kwargs)))
+        return str(path)
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        base = self.write(tmp_path, "a.json")
+        cur = self.write(tmp_path, "b.json", run_id="new")
+        assert main([base, cur]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_one_on_regression_and_json_report(self, tmp_path, capsys):
+        base = self.write(tmp_path, "a.json")
+        cur = self.write(tmp_path, "b.json", ms=30.0, run_id="new")
+        out = tmp_path / "report.json"
+        assert main([base, cur, "--json", str(out)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+        assert json.loads(out.read_text())["has_regressions"] is True
+
+    def test_custom_thresholds(self, tmp_path):
+        base = self.write(tmp_path, "a.json")
+        cur = self.write(tmp_path, "b.json", ms=30.0, run_id="new")
+        assert main([base, cur, "--rel-ms", "5.0"]) == 0
+
+    def test_exit_two_on_bad_inputs(self, tmp_path, capsys):
+        base = self.write(tmp_path, "a.json")
+        assert main([base, str(tmp_path / "missing.json")]) == 2
+        other_scale = self.write(tmp_path, "c.json", scale="full", run_id="n")
+        assert main([base, other_scale]) == 2
+        assert main([base, other_scale, "--allow-scale-mismatch"]) == 0
+        assert main(["--bogus"]) == 2

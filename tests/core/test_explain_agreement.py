@@ -1,0 +1,92 @@
+"""Explain-vs-execute agreement: the plan must predict what query() does.
+
+``CBCS.explain`` runs the same deterministic cache search, strategy
+selection, and region computation as ``query`` -- so on any workload with a
+deterministic strategy, the predicted case and range-query count must match
+the execution exactly, for hits, misses, and the exact-match case alike.
+This is the invariant the plan-accuracy audit (``repro.obs.audit``)
+monitors; here it is pinned as a test on a seeded workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ampr import ApproximateMPR, ExactMPR
+from repro.core.cbcs import CBCS
+from repro.data.generator import generate
+from repro.storage.table import DiskTable
+from repro.workload.generator import WorkloadGenerator
+
+
+@pytest.mark.parametrize("region", [ApproximateMPR(k=1), ExactMPR()])
+def test_plan_matches_execution_across_workload(region):
+    data = generate("independent", 3000, 3, seed=11)
+    engine = CBCS(DiskTable(data), region_computer=region)
+    gen = WorkloadGenerator(data, seed=12)
+    queries = gen.exploratory_stream(30)
+    # verbatim repeats of already-cached queries force exact matches
+    queries = queries + queries[:4]
+
+    seen_cases = set()
+    for constraints in queries:
+        plan = engine.explain(constraints)
+        outcome = engine.query(constraints)
+        assert plan.case == outcome.case, (
+            f"explain predicted case {plan.case!r}, query executed "
+            f"{outcome.case!r} for {constraints}"
+        )
+        assert plan.range_queries == outcome.range_queries, (
+            f"case {plan.case}: explain planned {plan.range_queries} range "
+            f"queries, query issued {outcome.range_queries}"
+        )
+        assert plan.cache_hit == outcome.cache_hit
+        seen_cases.add(outcome.case)
+
+    # the workload must actually exercise all three top-level shapes
+    assert "miss" in seen_cases
+    assert "exact" in seen_cases
+    assert seen_cases - {"miss", "exact"}, "no cache-hit refinement executed"
+
+
+def test_exact_match_predicts_zero_io():
+    data = generate("independent", 1000, 2, seed=5)
+    engine = CBCS(DiskTable(data))
+    gen = WorkloadGenerator(data, seed=6)
+    first = gen.initial_query()
+    engine.query(first)
+    plan = engine.explain(first)
+    outcome = engine.query(first)
+    assert plan.case == outcome.case == "exact"
+    assert plan.range_queries == outcome.range_queries == 0
+    assert outcome.points_read == 0
+
+
+def test_miss_prediction_bounds_actual_reads():
+    data = generate("independent", 2000, 3, seed=7)
+    engine = CBCS(DiskTable(data))
+    gen = WorkloadGenerator(data, seed=8)
+    constraints = gen.initial_query()
+    plan = engine.explain(constraints)
+    outcome = engine.query(constraints)
+    assert plan.case == outcome.case == "miss"
+    assert plan.range_queries == outcome.range_queries == 1
+    # most-selective-dimension estimate is an upper bound on rows in the box
+    assert outcome.points_read <= plan.estimated_points
+
+
+def test_plan_to_dict_is_strict_json():
+    import json
+
+    data = generate("independent", 500, 2, seed=1)
+    engine = CBCS(DiskTable(data))
+    gen = WorkloadGenerator(data, seed=2)
+    q = gen.initial_query()
+    engine.query(q)
+    plan = engine.explain(gen.refine(q))
+    payload = plan.to_dict()
+    json.dumps(payload, allow_nan=False)
+    assert payload["case"] == plan.case
+    assert len(payload["boxes"]) == plan.range_queries
+    for box in payload["boxes"]:
+        for iv in box["intervals"]:
+            assert set(iv) == {"lo", "hi", "lo_open", "hi_open"}

@@ -1,0 +1,89 @@
+"""Tests for the plan-accuracy auditor (explain-vs-execute calibration)."""
+
+import json
+import math
+
+from repro.core.cbcs import CBCS
+from repro.data.generator import generate
+from repro.obs import Observability
+from repro.obs.audit import (
+    PlanAccuracyAuditor,
+    main,
+    render_summary,
+    run_quick_audit,
+)
+from repro.obs.report import render_report
+from repro.storage.table import DiskTable
+from repro.workload.generator import WorkloadGenerator
+
+
+class TestAuditor:
+    def test_quick_workload_is_perfectly_predicted(self):
+        summary, records = run_quick_audit(
+            n_points=2000, ndim=3, n_queries=40, seed=3
+        )
+        assert summary["queries"] == len(records) == 45  # 40 + 5 repeats
+        assert summary["case_accuracy"] == 1.0
+        assert summary["range_query_accuracy"] == 1.0
+        assert math.isfinite(summary["points_mare"])
+        # exact repeats guarantee all three top-level outcomes appear
+        cases = {r.actual_case for r in records}
+        assert "miss" in cases
+        assert "exact" in cases
+        assert cases - {"miss", "exact"}, "no cache-hit refinement was audited"
+
+    def test_metrics_flow_into_registry_and_report(self):
+        obs = Observability()
+        summary, _ = run_quick_audit(n_points=1000, n_queries=15, obs=obs)
+        m = obs.metrics
+        assert (
+            m.counter_value("plan_case_predictions_total", outcome="correct")
+            == summary["queries"]
+        )
+        assert m.counter_value("plan_case_predictions_total", outcome="wrong") == 0
+        hist = m.histogram("plan_points_rel_error")
+        assert hist is not None and hist.count == summary["queries"]
+        text = render_report(m)
+        assert "Plan accuracy (explain vs execute)" in text
+        assert "100.0%" in text
+
+    def test_keep_plans_serializes_boxes(self):
+        _, records = run_quick_audit(n_points=1000, n_queries=10, keep_plans=True)
+        assert all("case" in r.plan for r in records)
+        miss = next(r for r in records if r.actual_case == "miss")
+        assert len(miss.plan["boxes"]) == 1
+        json.dumps([r.as_dict() for r in records], allow_nan=False)
+
+    def test_auditor_over_explicit_engine(self):
+        data = generate("independent", 1500, 3, seed=9)
+        engine = CBCS(DiskTable(data))
+        gen = WorkloadGenerator(data, seed=10)
+        auditor = PlanAccuracyAuditor(engine)
+        auditor.run(gen.exploratory_stream(12))
+        summary = auditor.summary()
+        assert summary["case_accuracy"] == 1.0
+        assert summary["by_case"]
+
+    def test_empty_summary(self):
+        data = generate("independent", 100, 2, seed=0)
+        auditor = PlanAccuracyAuditor(CBCS(DiskTable(data)))
+        assert auditor.summary() == {"queries": 0}
+        assert render_summary(auditor.summary()) == "(no queries audited)"
+
+
+class TestAuditCli:
+    def test_prints_calibration_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "audit.json"
+        code = main(
+            ["--points", "800", "--queries", "10", "--json", str(out), "--strict"]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "Plan accuracy" in text
+        assert "100.0%" in text
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["case_accuracy"] == 1.0
+        assert payload["records"][0]["plan"]["boxes"]
+
+    def test_usage_error(self):
+        assert main(["--bogus"]) == 2

@@ -124,6 +124,46 @@ class TestExport:
         snap = reg.as_dict()
         assert snap == {"counters": [], "gauges": [], "histograms": []}
 
+    def test_merge_combines_registries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("queries_total", 3, method="X")
+        b.inc("queries_total", 4, method="X")
+        b.inc("queries_total", 1, method="Y")
+        a.set_gauge("cache_items", 2)
+        b.set_gauge("cache_items", 9)
+        a.observe("stage_ms", 1.0, stage="skyline")
+        b.observe("stage_ms", 3.0, stage="skyline")
+        b.observe("new_hist", 5.0)
+        a.merge(b)
+        assert a.counter_value("queries_total", method="X") == 7.0
+        assert a.counter_value("queries_total", method="Y") == 1.0
+        assert a.gauge_value("cache_items") == 9.0
+        hist = a.histogram("stage_ms", stage="skyline")
+        assert hist.count == 2 and hist.sum == pytest.approx(4.0)
+        assert hist.min == 1.0 and hist.max == 3.0
+        assert hist.percentile(95) == 3.0
+        assert a.histogram("new_hist").count == 1
+        # the source registry is untouched
+        assert b.counter_value("queries_total", method="X") == 4.0
+
+    def test_histogram_merge_respects_sample_cap(self):
+        a, b = HistogramData(max_samples=5), HistogramData()
+        for v in range(4):
+            a.observe(float(v))
+        for v in range(10, 20):
+            b.observe(float(v))
+        a.merge(b)
+        assert a.count == 14
+        assert a.sum == pytest.approx(sum(range(4)) + sum(range(10, 20)))
+        assert a.max == 19.0
+        assert len(a._values) == 5
+
+    def test_merge_empty_histogram_keeps_extremes(self):
+        a, b = HistogramData(), HistogramData()
+        a.observe(2.0)
+        a.merge(b)
+        assert a.count == 1 and a.min == 2.0 and a.max == 2.0
+
     def test_render_key(self):
         reg = MetricsRegistry()
         reg.inc("x_total", b="2", a="1")

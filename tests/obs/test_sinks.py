@@ -1,0 +1,46 @@
+"""Tests for sink lifecycle guarantees (flush/close determinism)."""
+
+import json
+
+from repro.obs.sinks import JsonlSink, read_jsonl
+
+
+class TestJsonlSinkLifecycle:
+    def test_lines_are_flushed_before_close(self, tmp_path):
+        """The file must be complete up to the last emit even without
+        close() -- the early-exit guarantee."""
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"name": "a", "duration_ms": 1.0})
+        sink.emit({"name": "b", "duration_ms": 2.0})
+        # read back while the handle is still open, no close() yet
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["name"] == "b"
+        sink.close()
+
+    def test_context_manager_closes_handle(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"name": "a"})
+            assert sink._handle is not None
+        assert sink._handle is None
+        assert read_jsonl(path) == [{"name": "a"}]
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        sink.emit({"name": "a"})
+        sink.close()
+        sink.close()
+
+    def test_emit_after_close_appends_instead_of_truncating(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"name": "a"})
+        sink.close()
+        sink.emit({"name": "b"})
+        sink.close()
+        assert [r["name"] for r in read_jsonl(path)] == ["a", "b"]
+
+    def test_flush_without_handle_is_safe(self, tmp_path):
+        JsonlSink(tmp_path / "trace.jsonl").flush()
