@@ -29,7 +29,7 @@ import time
 from contextlib import nullcontext
 
 from repro.bench.experiments import ALL_EXPERIMENTS
-from repro.bench.harness import bench_scale
+from repro.bench.harness import activate_faults, bench_scale
 from repro.obs import activate
 
 
@@ -88,6 +88,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--audit", action="store_true",
         help="also run the plan-accuracy audit (explain-vs-execute calibration)",
     )
+    parser.add_argument(
+        "--faults", metavar="PROFILE",
+        help="inject storage faults into CBCS engines during figure runs "
+             "(profiles: none, default, heavy); engines run with the "
+             "resilience layer enabled",
+    )
+    parser.add_argument(
+        "--chaos", metavar="N", type=int,
+        help="run an N-query chaos soak (fault-injected mixed workload with "
+             "reference-checked answers and a circuit-breaker drill); "
+             "exits 4 if the soak fails.  Without explicit FIGUREs, runs "
+             "the soak alone",
+    )
     return parser
 
 
@@ -101,7 +114,15 @@ def main(argv=None) -> int:
     if opts.list:
         print("\n".join(ALL_EXPERIMENTS))
         return 0
-    names = opts.figures or list(ALL_EXPERIMENTS)
+    if opts.chaos is not None and opts.chaos < 1:
+        print("--chaos needs a positive query count")
+        return 2
+    if opts.figures:
+        names = list(opts.figures)
+    elif opts.chaos is not None:
+        names = []  # soak-only run
+    else:
+        names = list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {unknown}; available: {list(ALL_EXPERIMENTS)}")
@@ -118,12 +139,27 @@ def main(argv=None) -> int:
     ):
         obs = _build_obs(opts.obs, query_log=opts.query_log)
 
+    if opts.faults is not None:
+        from repro.storage.faults import PROFILES
+
+        if opts.faults not in PROFILES:
+            print(
+                f"unknown fault profile {opts.faults!r}; "
+                f"available: {sorted(PROFILES)}"
+            )
+            return 2
+
     print(f"# repro benchmark run (scale={bench_scale()})\n")
     dump = {"scale": bench_scale(), "figures": {}}
     figure_summaries = {}
+    figure_failures = []
+    chaos_report = None
     cumulative = obs.metrics if obs is not None else None
     audit_summary = None
-    with (activate(obs) if obs is not None else nullcontext()):
+    faults_ctx = (
+        nullcontext() if opts.faults is None else activate_faults(opts.faults)
+    )
+    with (activate(obs) if obs is not None else nullcontext()), faults_ctx:
         for name in names:
             if obs is not None:
                 # Fresh registry per figure: its distillate feeds the
@@ -133,7 +169,18 @@ def main(argv=None) -> int:
 
                 obs.metrics = MetricsRegistry()
             start = time.perf_counter()
-            report = ALL_EXPERIMENTS[name]()
+            try:
+                report = ALL_EXPERIMENTS[name]()
+            except Exception as exc:
+                elapsed = time.perf_counter() - start
+                figure_failures.append(name)
+                print(
+                    f"[{name} FAILED after {elapsed:.1f}s: "
+                    f"{type(exc).__name__}: {exc}]\n"
+                )
+                if obs is not None:
+                    cumulative.merge(obs.metrics)
+                continue
             elapsed = time.perf_counter() - start
             print(str(report))
             print(f"[{name} regenerated in {elapsed:.1f}s]\n")
@@ -165,6 +212,18 @@ def main(argv=None) -> int:
                     print(f"[chart written to {target}]")
         if obs is not None:
             obs.metrics = cumulative
+        if opts.chaos is not None:
+            from repro.bench.chaos import run_chaos_soak
+
+            chaos_report = run_chaos_soak(
+                n_queries=opts.chaos,
+                profile=opts.faults or "default",
+                obs=obs,
+            )
+            print(chaos_report.render_text())
+            print()
+            if opts.json is not None:
+                dump["chaos"] = chaos_report.as_dict()
         if opts.audit:
             from repro.obs.audit import render_summary, run_quick_audit
 
@@ -195,7 +254,10 @@ def main(argv=None) -> int:
         )
 
         snapshot = build_snapshot(
-            scale=bench_scale(), figures=figure_summaries, audit=audit_summary
+            scale=bench_scale(),
+            figures=figure_summaries,
+            audit=audit_summary,
+            chaos=chaos_report.as_dict() if chaos_report is not None else None,
         )
         if opts.save_bench is not None:
             written = save_snapshot(snapshot, opts.save_bench)
@@ -233,6 +295,14 @@ def main(argv=None) -> int:
 
             print("\n# observability report\n")
             print(render_report(obs.metrics))
+    # Distinct exit codes: 1 regression, 2 usage/snapshot error, 3 a figure
+    # run failed mid-workload, 4 the chaos soak failed.
+    if figure_failures:
+        print(f"[{len(figure_failures)} figure(s) failed: {figure_failures}]")
+        exit_code = 3
+    if chaos_report is not None and not chaos_report.passed:
+        print("[chaos soak FAILED]")
+        exit_code = 4
     return exit_code
 
 

@@ -21,6 +21,7 @@ reproduction trims cardinalities while preserving every comparison's shape.
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -55,6 +56,38 @@ def bench_scale() -> str:
 def scaled(quick, default, full):
     """Pick a parameter by the active benchmark scale."""
     return {"quick": quick, "default": default, "full": full}[bench_scale()]
+
+
+# ----------------------------------------------------------------------
+# Ambient fault injection (``python -m repro.bench --faults PROFILE``)
+# ----------------------------------------------------------------------
+_fault_state: Dict[str, object] = {"profile": None, "seed": 0}
+
+
+def active_fault_profile() -> Optional[str]:
+    """The ambient fault profile name, or None when faults are off."""
+    return _fault_state["profile"]  # type: ignore[return-value]
+
+
+@contextmanager
+def activate_faults(profile: Optional[str], seed: int = 0):
+    """Run the ``with`` body with storage fault injection active.
+
+    While active, every :func:`make_cbcs` engine gets its
+    :class:`~repro.storage.table.DiskTable` wrapped in a
+    :class:`~repro.storage.faults.FaultyDiskTable` (its own seeded
+    injector, so figures stay independent) and runs with the default
+    resilience layer, exercising retries and the degradation ladder under
+    the benchmark workloads.  Baseline and BBS have no resilience layer and
+    keep pristine tables.
+    """
+    previous = dict(_fault_state)
+    _fault_state.update(profile=profile, seed=seed)
+    try:
+        yield
+    finally:
+        _fault_state.clear()
+        _fault_state.update(previous)
 
 
 @dataclass
@@ -137,12 +170,25 @@ def make_cbcs(
     """
     obs = current_obs() if obs is None else obs
     table = DiskTable(data, cost_model=cost_model)
+    resilience = None
+    profile = _fault_state["profile"]
+    if profile is not None and profile != "none":
+        from repro.storage.faults import FaultInjector, FaultyDiskTable
+
+        injector = FaultInjector(
+            profile=profile,  # type: ignore[arg-type]
+            seed=int(_fault_state["seed"]),  # type: ignore[arg-type]
+            metrics=obs.metrics if obs.enabled else None,
+        )
+        table = FaultyDiskTable(table, injector)
+        resilience = True
     return CBCS(
         table,
         cache=cache if cache is not None else SkylineCache(),
         strategy=strategy,
         region_computer=region,
         obs=obs if obs.enabled else None,
+        resilience=resilience,
     )
 
 

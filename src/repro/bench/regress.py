@@ -119,6 +119,7 @@ def build_snapshot(
     audit: Optional[dict] = None,
     rev: Optional[str] = None,
     run_id: Optional[str] = None,
+    chaos: Optional[dict] = None,
 ) -> dict:
     """Assemble the schema-versioned snapshot dict for one bench run."""
     rev = git_rev() if rev is None else rev
@@ -137,6 +138,8 @@ def build_snapshot(
     }
     if audit is not None:
         snapshot["audit"] = audit
+    if chaos is not None:
+        snapshot["chaos"] = chaos
     return snapshot
 
 
@@ -264,6 +267,7 @@ class RegressionReport:
     scale: str
     thresholds: Thresholds
     findings: List[Finding] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
 
     @property
     def regressions(self) -> List[Finding]:
@@ -287,6 +291,7 @@ class RegressionReport:
             },
             "has_regressions": self.has_regressions,
             "findings": [f.as_dict() for f in self.findings],
+            "warnings": list(self.warnings),
         }
 
     def render_text(self, verbose: bool = False) -> str:
@@ -303,10 +308,12 @@ class RegressionReport:
             f"{self.baseline_id} (scale={self.scale})"
         )
         if not interesting:
-            return (
-                f"{header}\n"
+            lines = [header]
+            lines.extend(f"warning: {w}" for w in self.warnings)
+            lines.append(
                 f"OK: {len(self.findings)} compared metrics within thresholds"
             )
+            return "\n".join(lines)
         rows = []
         for f in sorted(
             interesting, key=lambda f: (f.status != STATUS_REGRESSED, f.figure, f.method)
@@ -332,7 +339,10 @@ class RegressionReport:
             if self.has_regressions
             else f"OK: no regressions ({len(self.findings)} metrics compared)"
         )
-        return f"{header}\n{table}\n{verdict}"
+        parts = [header, table]
+        parts.extend(f"warning: {w}" for w in self.warnings)
+        parts.append(verdict)
+        return "\n".join(parts)
 
 
 def _classify(
@@ -367,41 +377,90 @@ def compare_snapshots(
     )
     base_figures = baseline.get("figures", {})
     cur_figures = current.get("figures", {})
+
+    def methods_of(fig_name: str, fig: object, side: str) -> Optional[dict]:
+        """The figure's methods mapping, or None (with a warning) if malformed."""
+        if not isinstance(fig, dict) or not isinstance(fig.get("methods", {}), dict):
+            report.warnings.append(
+                f"{side} snapshot: figure {fig_name!r} entry is malformed; skipped"
+            )
+            return None
+        return fig.get("methods", {})
+
     for fig_name, base_fig in sorted(base_figures.items()):
+        base_methods = methods_of(fig_name, base_fig, "baseline")
+        if base_methods is None:
+            continue
         cur_fig = cur_figures.get(fig_name)
-        base_methods = base_fig.get("methods", {})
         if cur_fig is None:
+            report.warnings.append(
+                f"figure {fig_name!r} is in the baseline but missing from the "
+                f"current snapshot"
+            )
             for method in sorted(base_methods):
                 report.findings.append(
                     Finding(fig_name, method, "*", None, None, STATUS_MISSING)
                 )
             continue
-        cur_methods = cur_fig.get("methods", {})
+        cur_methods = methods_of(fig_name, cur_fig, "current")
+        if cur_methods is None:
+            continue
         for method, base_entry in sorted(base_methods.items()):
             cur_entry = cur_methods.get(method)
             if cur_entry is None:
+                report.warnings.append(
+                    f"figure {fig_name!r}: method {method!r} is in the baseline "
+                    f"but missing from the current snapshot"
+                )
                 report.findings.append(
                     Finding(fig_name, method, "*", None, None, STATUS_MISSING)
                 )
                 continue
+            if not isinstance(base_entry, dict) or not isinstance(cur_entry, dict):
+                report.warnings.append(
+                    f"figure {fig_name!r}: method {method!r} entry is malformed; "
+                    f"skipped"
+                )
+                continue
             for metric, (extract, rel_attr, abs_attr) in _METRICS.items():
-                b, c = extract(base_entry), extract(cur_entry)
-                if b is None or c is None or b != b or c != c:
+                try:
+                    b, c = extract(base_entry), extract(cur_entry)
+                except (AttributeError, TypeError):
+                    report.warnings.append(
+                        f"figure {fig_name!r}: method {method!r} metric "
+                        f"{metric!r} is malformed; skipped"
+                    )
+                    continue
+                if b is None or c is None:
+                    continue
+                try:
+                    b, c = float(b), float(c)
+                except (TypeError, ValueError):
+                    report.warnings.append(
+                        f"figure {fig_name!r}: method {method!r} metric "
+                        f"{metric!r} is not numeric; skipped"
+                    )
+                    continue
+                if b != b or c != c:
                     continue
                 status = _classify(
-                    float(b),
-                    float(c),
+                    b,
+                    c,
                     getattr(thresholds, rel_attr),
                     getattr(thresholds, abs_attr),
                 )
                 report.findings.append(
-                    Finding(fig_name, method, metric, float(b), float(c), status)
+                    Finding(fig_name, method, metric, b, c, status)
                 )
         for method in sorted(set(cur_methods) - set(base_methods)):
             report.findings.append(
                 Finding(fig_name, method, "*", None, None, STATUS_NEW)
             )
     for fig_name in sorted(set(cur_figures) - set(base_figures)):
+        report.warnings.append(
+            f"figure {fig_name!r} is new in the current snapshot "
+            f"(no baseline to compare against)"
+        )
         report.findings.append(Finding(fig_name, "*", "*", None, None, STATUS_NEW))
     return report
 

@@ -80,6 +80,8 @@ class SkylineCache:
         self.misses = 0
         self.evictions = 0
         self.insertions = 0
+        self.refreshes = 0
+        self.quarantined = 0
         self.metrics = NULL_METRICS if metrics is None else metrics
 
     def bind_metrics(self, metrics: Optional[MetricsRegistry]) -> "SkylineCache":
@@ -95,7 +97,10 @@ class SkylineCache:
 
         Empty skylines are not cached: they have no MBR to index and no
         points to prune with.  Re-inserting identical constraints refreshes
-        the existing item instead of duplicating it.
+        the existing item: if the newly computed skyline differs (the data
+        changed, or the stored copy rotted), the stored skyline and MBR are
+        replaced and the R*-tree entry reindexed, so re-answered queries can
+        never resurrect a stale entry.
         """
         skyline = np.asarray(skyline, dtype=float)
         if len(skyline) == 0:
@@ -106,6 +111,10 @@ class SkylineCache:
         existing_id = self._by_constraints.get(constraints.key())
         if existing_id is not None:
             item = self._items[existing_id]
+            if not np.array_equal(item.skyline, skyline):
+                self._reindex(item, skyline)
+                self.refreshes += 1
+                self.metrics.inc("cache_refreshes_total")
             self.touch(item)
             return item
 
@@ -152,6 +161,18 @@ class SkylineCache:
         item.last_used = next(self._clock)
         item.use_count += 1
 
+    def _reindex(self, item: CacheItem, skyline: np.ndarray) -> None:
+        """Swap ``item``'s skyline/MBR in place and refresh its index entry."""
+        removed = self._index.delete(item.mbr_lo, item.mbr_hi, item.item_id)
+        item.skyline = skyline.copy()
+        item.mbr_lo = skyline.min(axis=0)
+        item.mbr_hi = skyline.max(axis=0)
+        if removed:
+            self._index.insert(item.mbr_lo, item.mbr_hi, item.item_id)
+        else:
+            # Index entry not where the item's MBR said: heal by rebuild.
+            self._rebuild_index()
+
     def clear(self) -> None:
         """Drop every item."""
         self._items.clear()
@@ -189,6 +210,96 @@ class SkylineCache:
         item_id = self._by_constraints.get(query.key())
         return self._items.get(item_id) if item_id is not None else None
 
+    # ------------------------------------------------------------------
+    # Self-healing (invariant verification and quarantine)
+    # ------------------------------------------------------------------
+    def verify_item(self, item: CacheItem, sample: int = 16) -> List[str]:
+        """Check ``item``'s invariants; return violation slugs (empty = ok).
+
+        A cached skyline that violates any of these would poison every
+        later query pruning with it (a wrong dominance region suppresses
+        points that belong in the answer):
+
+        - ``malformed``: not a non-empty ``(k, d)`` array matching the
+          item's constraints;
+        - ``non-finite``: NaN/inf coordinates (bit rot);
+        - ``mbr-mismatch``: stored MBR differs from the skyline's true
+          bounding box (would mis-route R*-tree lookups);
+        - ``out-of-constraints``: a point outside the item's own region;
+        - ``dominated``: a sampled point dominated by another cached point
+          (skyline-minimality spot check on ``sample`` evenly spaced rows).
+        """
+        sky = item.skyline
+        if (
+            not isinstance(sky, np.ndarray)
+            or sky.ndim != 2
+            or len(sky) == 0
+            or sky.shape[1] != item.constraints.ndim
+        ):
+            return ["malformed"]
+        problems: List[str] = []
+        if not np.isfinite(sky).all():
+            return ["non-finite"]
+        if not (
+            np.array_equal(item.mbr_lo, sky.min(axis=0))
+            and np.array_equal(item.mbr_hi, sky.max(axis=0))
+        ):
+            problems.append("mbr-mismatch")
+        if not item.constraints.satisfied_mask(sky).all():
+            problems.append("out-of-constraints")
+        probe = (
+            np.arange(len(sky))
+            if len(sky) <= sample
+            else np.linspace(0, len(sky) - 1, sample).astype(int)
+        )
+        for i in probe:
+            le = np.all(sky <= sky[i], axis=1)
+            lt = np.any(sky < sky[i], axis=1)
+            if np.any(le & lt):
+                problems.append("dominated")
+                break
+        return problems
+
+    def quarantine(self, item: CacheItem, reason: str = "invariant-violation") -> None:
+        """Evict a corrupt item, counting it separately from replacement.
+
+        Unlike :meth:`_remove`, quarantine tolerates an index that is out of
+        sync with the item (a corrupt MBR cannot locate its own R*-tree
+        entry): the index is rebuilt from the surviving items instead.
+        """
+        if item.item_id not in self._items:
+            return
+        del self._items[item.item_id]
+        self._by_constraints.pop(item.constraints.key(), None)
+        removed = (
+            self._index.delete(item.mbr_lo, item.mbr_hi, item.item_id)
+            if self._index is not None
+            else False
+        )
+        if not removed:
+            self._rebuild_index()
+        self.quarantined += 1
+        self.metrics.inc("cache_quarantined_total", reason=reason)
+        self.metrics.set_gauge("cache_items", len(self._items))
+
+    def verify_and_heal(self, item: CacheItem, sample: int = 16) -> bool:
+        """Verify ``item``; quarantine it on violation.  True = healthy."""
+        problems = self.verify_item(item, sample=sample)
+        if not problems:
+            return True
+        self.quarantine(item, reason=problems[0])
+        return False
+
+    def _rebuild_index(self) -> None:
+        """Reconstruct the R*-tree from the live items (self-healing)."""
+        self._index = None
+        for item in self._items.values():
+            if self._index is None:
+                self._index = RTree(
+                    item.constraints.ndim, max_entries=self._rtree_max_entries
+                )
+            self._index.insert(item.mbr_lo, item.mbr_hi, item.item_id)
+
     def stats(self) -> dict:
         """Summary of the cache's bookkeeping counters.
 
@@ -208,6 +319,8 @@ class SkylineCache:
             "hit_rate": self.hits / lookups if lookups else 0.0,
             "insertions": self.insertions,
             "evictions": self.evictions,
+            "refreshes": self.refreshes,
+            "quarantined": self.quarantined,
         }
 
     def __len__(self) -> int:

@@ -29,11 +29,26 @@ from repro.core.strategies import CacheSearchStrategy, MaxOverlapSP
 from repro.geometry.box import Box
 from repro.geometry.constraints import Constraints
 from repro.obs import NULL_OBS
+from repro.resilience import (
+    DEGRADABLE,
+    call_with_retry,
+    resolve_resilience,
+    validate_range_result,
+)
 from repro.skyline.sfs import sfs_skyline
 from repro.stats import QueryOutcome, Stopwatch
 from repro.storage.table import DiskTable
 
 CASE_MISS = "miss"
+
+#: Degradation-ladder rung labels stamped into ``QueryOutcome.degraded``.
+#: ``ampr`` and ``bounding`` answers are still exact; ``stale`` serves a
+#: possibly-outdated cached skyline; ``unavailable`` is the empty last
+#: resort when storage is down and nothing cached overlaps.
+RUNG_AMPR = "ampr"
+RUNG_BOUNDING = "bounding"
+RUNG_STALE = "stale"
+RUNG_UNAVAILABLE = "unavailable"
 
 
 def _box_to_dict(box: Box) -> dict:
@@ -113,6 +128,7 @@ class CBCS:
         skyline_algorithm: Callable[[np.ndarray], np.ndarray] = sfs_skyline,
         cache_results: bool = True,
         obs=None,
+        resilience=None,
     ):
         """``region_computer`` defaults to the 1-NN aMPR, the paper's default
         for interactive workloads; pass :class:`~repro.core.ampr.ExactMPR`
@@ -123,6 +139,15 @@ class CBCS:
         search / selection / MPR / fetch / skyline spans), and the cache,
         strategy, and region computer are bound to the same registry.  With
         the default ``None`` everything stays on the shared no-op.
+
+        ``resilience`` enables the fault-tolerance layer: pass ``True`` for
+        defaults or a :class:`repro.resilience.Resilience` to tune the
+        retry policy / circuit breaker.  With it on, storage fetches are
+        validated and retried, exhausted retries fall down the degradation
+        ladder (aMPR re-plan -> bounding fetch -> stale cache serve)
+        instead of raising, and cache items are invariant-verified before
+        CBCS prunes with them.  The default ``None`` keeps the historic
+        fail-fast behaviour with zero overhead.
         """
         self.table = table
         # explicit None checks: an empty SkylineCache is falsy (len 0)
@@ -134,6 +159,13 @@ class CBCS:
         self.skyline_algorithm = skyline_algorithm
         self.cache_results = cache_results
         self.obs = NULL_OBS if obs is None else obs
+        self.resilience = resolve_resilience(resilience)
+        self._fallback_region = (
+            ApproximateMPR(k=1)
+            if self.resilience is not None
+            and not isinstance(self.region, ApproximateMPR)
+            else None
+        )
         if obs is not None:
             self.cache.bind_metrics(obs.metrics)
             self.strategy.bind_obs(obs)
@@ -141,6 +173,10 @@ class CBCS:
                 self.region.bind_obs(obs)
             if self.table.obs is NULL_OBS:
                 self.table.bind_obs(obs)
+            if self.resilience is not None:
+                self.resilience.bind_metrics(obs.metrics)
+            if self._fallback_region is not None:
+                self._fallback_region.bind_obs(obs)
 
     @property
     def name(self) -> str:
@@ -150,20 +186,76 @@ class CBCS:
     # Querying
     # ------------------------------------------------------------------
     def query(self, constraints: Constraints) -> QueryOutcome:
-        """Answer one constrained skyline query, reusing the cache."""
+        """Answer one constrained skyline query, reusing the cache.
+
+        With resilience enabled, storage faults are retried and -- once
+        retries are exhausted or the circuit breaker opens -- the query
+        degrades down the ladder instead of raising: aMPR re-plan, then a
+        single bounding range query, then serving the best-overlap cached
+        skyline flagged ``stale``.  Degraded outcomes are always labeled
+        (``QueryOutcome.degraded``); this method never lets a storage error
+        escape when resilience is on.
+        """
         if constraints.ndim != self.table.ndim:
             raise ValueError("constraints dimensionality does not match the table")
         obs = self.obs
         with obs.tracer.span("cbcs.query", strategy=self.strategy.name) as qspan:
-            outcome = self._answer(constraints, qspan)
+            if self.resilience is None:
+                outcome = self._answer(constraints, qspan)
+            else:
+                outcome = self._answer_resilient(constraints, qspan)
         obs.record_outcome(outcome)
         return outcome
 
-    def _answer(self, constraints: Constraints, qspan) -> QueryOutcome:
+    def _answer_resilient(self, constraints: Constraints, qspan) -> QueryOutcome:
+        """Normal plan with retries; on give-up, walk the degradation ladder."""
+        state = self.resilience.new_state()
+        try:
+            outcome = self._answer(constraints, qspan, retry_state=state)
+        except DEGRADABLE as cause:
+            self.obs.metrics.inc("degradation_entered_total", method=self.name)
+            outcome = self._answer_degraded(constraints, qspan, state, cause)
+        outcome.retries = state.retries
+        return outcome
+
+    def _fetch(self, fn, retry_state):
+        """Run one storage fetch, optionally under breaker + retry + validation.
+
+        ``fn`` must be re-invocable (a retry refetches from scratch).  With
+        resilience off (``retry_state`` None) this is a plain call.
+        """
+        if retry_state is None:
+            return fn()
+        res = self.resilience
+        res.breaker.allow()  # raises CircuitOpenError while open
+
+        def attempt():
+            result = fn()
+            validate_range_result(result)
+            return result
+
+        try:
+            result = call_with_retry(
+                attempt, retry_state, metrics=self.obs.metrics, op="fetch"
+            )
+        except Exception:
+            res.breaker.record_failure()
+            raise
+        res.breaker.record_success()
+        return result
+
+    def _answer(
+        self,
+        constraints: Constraints,
+        qspan,
+        retry_state=None,
+        region_override=None,
+    ) -> QueryOutcome:
         """The query body, run inside the ``cbcs.query`` span."""
         obs = self.obs
         watch = Stopwatch(tracer=obs.tracer)
         io_before = self.table.stats.snapshot()
+        verify = self.resilience is not None and self.resilience.verify_cache
 
         with watch.stage("processing"):
             with obs.tracer.span("cache.search"):
@@ -171,6 +263,13 @@ class CBCS:
             item = (
                 self.strategy.select(constraints, candidates) if candidates else None
             )
+            while verify and item is not None and not self.cache.verify_and_heal(item):
+                candidates = [c for c in candidates if c is not item]
+                item = (
+                    self.strategy.select(constraints, candidates)
+                    if candidates
+                    else None
+                )
         obs.metrics.inc(
             "cache_lookups_total",
             strategy=self.strategy.name,
@@ -179,7 +278,7 @@ class CBCS:
 
         if item is None:
             qspan.set(case=CASE_MISS, cache_hit=False)
-            return self._query_miss(constraints, watch, io_before)
+            return self._query_miss(constraints, watch, io_before, retry_state)
 
         with watch.stage("processing"):
             with obs.tracer.span("case.classify") as cspan:
@@ -197,10 +296,14 @@ class CBCS:
                     cache_hit=True,
                 )
                 return outcome
-            mpr = self._compute_region(item, candidates, constraints)
+            mpr = self._compute_region(
+                item, candidates, constraints, region_override=region_override
+            )
 
         with watch.stage("fetch_wall"):
-            fetched = self.table.fetch_boxes(mpr.boxes)
+            fetched = self._fetch(
+                lambda: self.table.fetch_boxes(mpr.boxes), retry_state
+            )
 
         with watch.stage("skyline"):
             with obs.tracer.span("skyline.merge") as mspan:
@@ -225,7 +328,16 @@ class CBCS:
 
         self.cache.touch(item)
         if self.cache_results:
-            self.cache.insert(constraints, skyline)
+            inserted = self.cache.insert(constraints, skyline)
+            if (
+                verify
+                and inserted is not None
+                and retry_state is not None
+                and retry_state.retries
+            ):
+                # The fetch path saw faults: re-verify what we just stored
+                # so a slipped-through corruption cannot poison later queries.
+                self.cache.verify_and_heal(inserted)
         io = self.table.stats.delta_since(io_before)
         watch.timings.fetch_io_ms = io.simulated_io_ms
         qspan.set(case=case, cache_hit=True, stable=mpr.stable)
@@ -296,15 +408,18 @@ class CBCS:
             for i, iv in enumerate(box.intervals)
         )
 
-    def _compute_region(self, item, candidates, constraints):
+    def _compute_region(self, item, candidates, constraints, region_override=None):
         """Compute the missing-points region for the chosen item.
 
         Region computers exposing ``compute_multi`` (the Section 6.3
         multi-item extension, :class:`repro.core.multi.MultiItemMPR`)
         receive the strategy's pick first plus the remaining candidates
         ranked by overlap volume; single-item computers get the pick alone.
+        ``region_override`` substitutes the degradation ladder's aMPR
+        re-plan for the configured computer.
         """
-        if hasattr(self.region, "compute_multi") and len(candidates) > 1:
+        region = self.region if region_override is None else region_override
+        if hasattr(region, "compute_multi") and len(candidates) > 1:
             others = sorted(
                 (c for c in candidates if c is not item),
                 key=lambda c: c.constraints.overlap_volume(constraints),
@@ -313,8 +428,8 @@ class CBCS:
             ranked = [(item.constraints, item.skyline)] + [
                 (c.constraints, c.skyline) for c in others
             ]
-            return self.region.compute_multi(ranked, constraints)
-        return self.region.compute(item.constraints, item.skyline, constraints)
+            return region.compute_multi(ranked, constraints)
+        return region.compute(item.constraints, item.skyline, constraints)
 
     # ------------------------------------------------------------------
     # Cache management helpers
@@ -330,11 +445,13 @@ class CBCS:
         return len(self.cache)
 
     def _query_miss(
-        self, constraints: Constraints, watch: Stopwatch, io_before
+        self, constraints: Constraints, watch: Stopwatch, io_before, retry_state=None
     ) -> QueryOutcome:
         """Cache miss: compute naively (range query + skyline algorithm)."""
         with watch.stage("fetch_wall"):
-            result = self.table.range_query(constraints.region())
+            result = self._fetch(
+                lambda: self.table.range_query(constraints.region()), retry_state
+            )
         with watch.stage("skyline"):
             skyline = result.points[self.skyline_algorithm(result.points)]
         if self.cache_results:
@@ -349,4 +466,88 @@ class CBCS:
             case=CASE_MISS,
             stable=None,
             cache_hit=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Degradation ladder
+    # ------------------------------------------------------------------
+    def _answer_degraded(
+        self, constraints: Constraints, qspan, state, cause
+    ) -> QueryOutcome:
+        """Walk the ladder after the normal plan gave up (``cause``).
+
+        Rungs, in order -- each still labeled in ``QueryOutcome.degraded``:
+
+        1. ``ampr``: re-plan with a 1-NN aMPR (fewer, larger range queries
+           mean fewer fault opportunities); skipped when the engine already
+           runs an aMPR.  The answer is still exact.
+        2. ``bounding``: a single range query over the whole constraint
+           region plus a from-scratch skyline -- one fetch, still exact.
+        3. ``stale``: serve the best-overlap cached skyline filtered to the
+           query region, flagged ``stale=True`` (may miss points whose
+           dominators fell outside the cached region).
+        4. ``unavailable``: the empty last resort when storage is down and
+           nothing cached overlaps.
+        """
+        obs = self.obs
+        verify = self.resilience.verify_cache
+
+        if self._fallback_region is not None:
+            rung_state = self.resilience.new_state()
+            try:
+                outcome = self._answer(
+                    constraints,
+                    qspan,
+                    retry_state=rung_state,
+                    region_override=self._fallback_region,
+                )
+                outcome.degraded = RUNG_AMPR
+                qspan.set(degraded=RUNG_AMPR)
+                state.retries += rung_state.retries
+                return outcome
+            except DEGRADABLE:
+                state.retries += rung_state.retries
+
+        rung_state = self.resilience.new_state()
+        try:
+            watch = Stopwatch(tracer=obs.tracer)
+            io_before = self.table.stats.snapshot()
+            outcome = self._query_miss(constraints, watch, io_before, rung_state)
+            outcome.degraded = RUNG_BOUNDING
+            qspan.set(degraded=RUNG_BOUNDING)
+            state.retries += rung_state.retries
+            return outcome
+        except DEGRADABLE:
+            state.retries += rung_state.retries
+
+        with obs.tracer.span("cbcs.stale_serve"):
+            candidates = self.cache.candidates(constraints, record=False)
+            while candidates:
+                best = max(
+                    candidates,
+                    key=lambda c: c.constraints.overlap_volume(constraints),
+                )
+                if not verify or self.cache.verify_and_heal(best):
+                    points = best.skyline[constraints.satisfied_mask(best.skyline)]
+                    qspan.set(degraded=RUNG_STALE, item_id=best.item_id)
+                    return QueryOutcome(
+                        skyline=points.copy(),
+                        method=self.name,
+                        case=None,
+                        stable=None,
+                        cache_hit=True,
+                        degraded=RUNG_STALE,
+                        stale=True,
+                    )
+                candidates = [c for c in candidates if c is not best]
+
+        qspan.set(degraded=RUNG_UNAVAILABLE)
+        return QueryOutcome(
+            skyline=np.empty((0, constraints.ndim)),
+            method=self.name,
+            case=None,
+            stable=None,
+            cache_hit=False,
+            degraded=RUNG_UNAVAILABLE,
+            stale=True,
         )

@@ -123,6 +123,12 @@ class Observability:
             m.inc(
                 "rtree_nodes_accessed_total", outcome.nodes_accessed, method=method
             )
+        if outcome.degraded is not None:
+            m.inc("degraded_queries_total", method=method, rung=outcome.degraded)
+        if outcome.stale:
+            m.inc("stale_serves_total", method=method)
+        if outcome.retries:
+            m.inc("query_retries_total", outcome.retries, method=method)
         t = outcome.timings
         m.observe("stage_ms", t.processing_ms, method=method, stage="processing")
         m.observe("stage_ms", t.fetch_io_ms, method=method, stage="fetch_io")

@@ -235,7 +235,12 @@ def render_report(metrics) -> str:
         )
 
     cache_rows = []
-    for name in ("cache_insertions_total", "cache_evictions_total"):
+    for name in (
+        "cache_insertions_total",
+        "cache_evictions_total",
+        "cache_refreshes_total",
+        "cache_quarantined_total",
+    ):
         for labels, rec in _series(snap, "counters", name):
             label = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
             cache_rows.append([name, label or "-", int(rec["value"])])
@@ -243,6 +248,53 @@ def render_report(metrics) -> str:
         sections.append(
             format_table(
                 ["counter", "labels", "value"], cache_rows, title="Cache churn"
+            )
+        )
+
+    resilience_rows = []
+    for labels, rec in _series(snap, "counters", "faults_injected_total"):
+        resilience_rows.append(
+            [
+                "faults injected",
+                f"kind={labels.get('kind', '?')},op={labels.get('op', '?')}",
+                int(rec["value"]),
+            ]
+        )
+    for labels, rec in _series(snap, "counters", "storage_retries_total"):
+        resilience_rows.append(
+            ["storage retries", f"op={labels.get('op', '?')}", int(rec["value"])]
+        )
+    for labels, rec in _series(snap, "counters", "degraded_queries_total"):
+        resilience_rows.append(
+            [
+                "degraded queries",
+                f"method={labels.get('method', '?')},"
+                f"rung={labels.get('rung', '?')}",
+                int(rec["value"]),
+            ]
+        )
+    for labels, rec in _series(snap, "counters", "stale_serves_total"):
+        resilience_rows.append(
+            [
+                "stale serves",
+                f"method={labels.get('method', '?')}",
+                int(rec["value"]),
+            ]
+        )
+    for labels, rec in _series(snap, "counters", "breaker_transitions_total"):
+        resilience_rows.append(
+            [
+                "breaker transitions",
+                f"{labels.get('from_state', '?')}->{labels.get('to_state', '?')}",
+                int(rec["value"]),
+            ]
+        )
+    if resilience_rows:
+        sections.append(
+            format_table(
+                ["counter", "labels", "value"],
+                resilience_rows,
+                title="Resilience (faults, retries, degradation)",
             )
         )
 

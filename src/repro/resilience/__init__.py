@@ -1,0 +1,96 @@
+"""Fault tolerance for the CBCS engine: retries, circuit breaking,
+degradation, and cache self-healing.
+
+A semantic cache fails differently from a page cache: a corrupt cached
+skyline silently breaks *every* overlapping query that prunes with it, not
+just the query that stored it.  This package therefore combines four
+defences, wired into :class:`repro.core.cbcs.CBCS` via the ``resilience``
+parameter:
+
+- :class:`~repro.resilience.retry.RetryPolicy` -- capped exponential
+  backoff with deterministic jitter and a per-query deadline budget;
+- :class:`~repro.resilience.breaker.CircuitBreaker` -- guards the disk
+  path; state transitions are mirrored into the metrics registry;
+- result validation (:func:`~repro.resilience.validate.validate_range_result`)
+  -- turns silent short reads and NaN corruption into retryable errors;
+- the CBCS degradation ladder -- on exhausted retries a query falls from
+  its exact plan to an aMPR re-plan, then a single bounding range query,
+  then serving the best-overlap cached skyline flagged ``stale=True``;
+  never an unhandled exception, never an unflagged wrong answer.
+
+The cache side of self-healing lives in
+:meth:`repro.core.cache.SkylineCache.verify_item` /
+:meth:`~repro.core.cache.SkylineCache.quarantine`.
+
+Usage::
+
+    from repro.resilience import Resilience
+    engine = CBCS(FaultyDiskTable(table, injector), resilience=Resilience())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.errors import (  # noqa: F401  (re-exported)
+    DEGRADABLE,
+    RETRYABLE,
+    CircuitOpenError,
+    CorruptResultError,
+    RetriesExhausted,
+)
+from repro.resilience.retry import RetryPolicy, RetryState, call_with_retry
+from repro.resilience.validate import validate_range_result
+
+__all__ = [
+    "Resilience",
+    "RetryPolicy",
+    "RetryState",
+    "call_with_retry",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "CorruptResultError",
+    "RetriesExhausted",
+    "RETRYABLE",
+    "DEGRADABLE",
+    "validate_range_result",
+]
+
+
+@dataclass
+class Resilience:
+    """Bundle of fault-tolerance collaborators for one CBCS engine.
+
+    ``verify_cache`` enables self-healing verification: cache items are
+    invariant-checked before CBCS prunes with them and after any insert on
+    a path that saw faults, with violators quarantined.
+    """
+
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
+    verify_cache: bool = True
+
+    def bind_metrics(self, metrics) -> "Resilience":
+        """Mirror breaker state (and future collaborators) into ``metrics``."""
+        self.breaker.bind_metrics(metrics)
+        return self
+
+    def new_state(self) -> RetryState:
+        """A fresh per-query retry budget."""
+        return RetryState(self.policy)
+
+
+def resolve_resilience(resilience) -> Optional[Resilience]:
+    """Normalize a CBCS ``resilience`` argument: None/False -> disabled,
+    True -> defaults, a :class:`Resilience` -> itself."""
+    if resilience is None or resilience is False:
+        return None
+    if resilience is True:
+        return Resilience()
+    if isinstance(resilience, Resilience):
+        return resilience
+    raise TypeError(
+        f"resilience must be None, bool, or Resilience, got {type(resilience)!r}"
+    )

@@ -1,0 +1,39 @@
+"""Error types of the resilience layer.
+
+The class hierarchy encodes the retry contract:
+
+- :class:`repro.storage.faults.TransientStorageError` (an ``IOError``) and
+  any other ``OSError`` are *retryable*: a later attempt may succeed.
+- :class:`CorruptResultError` marks a fetched
+  :class:`~repro.storage.table.RangeResult` that failed integrity
+  validation (truncated payload, non-finite values); it subclasses the
+  transient error because a re-read of healthy storage returns clean data.
+- :class:`RetriesExhausted` and :class:`CircuitOpenError` are the two ways
+  an operation gives up; both trigger the CBCS degradation ladder and are
+  never allowed to escape :meth:`repro.core.cbcs.CBCS.query`.
+"""
+
+from __future__ import annotations
+
+from repro.storage.faults import TransientStorageError
+
+
+class CorruptResultError(TransientStorageError):
+    """A fetched range result failed integrity validation."""
+
+
+class RetriesExhausted(RuntimeError):
+    """An operation kept failing past the retry policy's attempt/deadline
+    budget; the last underlying error is chained as ``__cause__``."""
+
+
+class CircuitOpenError(RuntimeError):
+    """The circuit breaker is open: the operation was rejected without
+    touching storage."""
+
+
+#: Exceptions the retry loop treats as retryable.
+RETRYABLE = (TransientStorageError, OSError)
+
+#: Exceptions that push a query onto the degradation ladder.
+DEGRADABLE = (RetriesExhausted, CircuitOpenError, TransientStorageError, OSError)

@@ -1,0 +1,37 @@
+"""Integrity validation of fetched range results.
+
+Storage faults that do not raise -- short reads and bit rot -- must be
+*detected* or they silently poison every downstream skyline.  A healthy
+:class:`~repro.storage.table.RangeResult` satisfies two invariants that the
+faulty paths in :mod:`repro.storage.faults` break in exactly the ways real
+short reads and corruption do:
+
+1. ``len(points) == len(rowids)`` (the payload matches the row-id header);
+2. every coordinate is finite.
+
+Validation failures raise :class:`~repro.resilience.errors.CorruptResultError`,
+which the retry loop treats like any transient storage error: re-read and,
+on healthy storage, get clean data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.resilience.errors import CorruptResultError
+
+
+def validate_range_result(result) -> None:
+    """Raise :class:`CorruptResultError` if ``result`` fails integrity checks."""
+    points = result.points
+    if points.ndim != 2:
+        raise CorruptResultError(
+            f"malformed range result: points array is {points.ndim}-D"
+        )
+    if len(points) != len(result.rowids):
+        raise CorruptResultError(
+            f"truncated range result: {len(points)} points for "
+            f"{len(result.rowids)} row ids"
+        )
+    if len(points) and not np.isfinite(points).all():
+        raise CorruptResultError("corrupt range result: non-finite coordinates")

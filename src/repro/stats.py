@@ -65,6 +65,15 @@ class QueryOutcome:
     stable: Optional[bool] = None  # CBCS stability of the used cache item
     cache_hit: bool = False
     nodes_accessed: int = 0  # BBS R-tree node reads
+    #: degradation-ladder rung that produced this answer (None = normal
+    #: path; "ampr" and "bounding" are still exact, "stale"/"unavailable"
+    #: are best-effort -- see docs/robustness.md)
+    degraded: Optional[str] = None
+    #: True iff the skyline may not reflect current data (stale-serve rung);
+    #: a stale answer is always also flagged ``degraded``
+    stale: bool = False
+    #: storage retries consumed while answering (0 on a clean path)
+    retries: int = 0
 
     @property
     def skyline_size(self) -> int:
@@ -104,6 +113,9 @@ class QueryOutcome:
             "timings": self.timings.as_dict(),
             "io": self.io.as_dict(),
             "nodes_accessed": self.nodes_accessed,
+            "degraded": self.degraded,
+            "stale": self.stale,
+            "retries": self.retries,
         }
 
 

@@ -17,6 +17,13 @@ reproduces that substrate in-process:
 
 from repro.storage.costmodel import DiskCostModel
 from repro.storage.pager import IOStats
-from repro.storage.table import DiskTable, RangeResult
+from repro.storage.table import CorruptTableError, DiskTable, RangeResult
 
-__all__ = ["DiskCostModel", "DiskTable", "IOStats", "RangeResult"]
+__all__ = [
+    "CorruptTableError",
+    "DiskCostModel",
+    "DiskTable",
+    "IOStats",
+    "RangeResult",
+]
+

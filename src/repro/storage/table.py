@@ -34,6 +34,7 @@ latency follows the table's :class:`~repro.storage.costmodel.DiskCostModel`.
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass
 from typing import Iterable, List, Literal, Optional, Sequence
 
@@ -46,6 +47,31 @@ from repro.storage.costmodel import DiskCostModel
 from repro.storage.pager import BufferPool, IOStats, page_runs
 
 PlanKind = Literal["best_index", "bitmap", "seqscan"]
+
+
+class CorruptTableError(ValueError):
+    """A persisted table archive failed integrity validation on load."""
+
+
+#: Keys every saved table archive must carry (see :meth:`DiskTable.save`).
+_REQUIRED_ARCHIVE_KEYS = frozenset(
+    {
+        "data",
+        "alive",
+        "columns",
+        "has_columns",
+        "plan",
+        "leaf_capacity",
+        "buffer_pages",
+        "cost_model",
+    }
+)
+
+
+def _archive_checksum(data: np.ndarray, alive: np.ndarray) -> int:
+    """CRC32 over the heap payload and tombstone bitmap."""
+    crc = zlib.crc32(np.ascontiguousarray(data).tobytes())
+    return zlib.crc32(np.ascontiguousarray(alive).tobytes(), crc)
 
 
 @dataclass(frozen=True)
@@ -336,11 +362,16 @@ class DiskTable:
 
         Indexes are rebuilt on load; vacuumed-away index entries therefore
         reappear as vacuumable tombstones, with identical query behaviour.
+        A CRC32 checksum over the heap payload and tombstone bitmap is
+        stored and verified by :meth:`load`.
         """
         np.savez_compressed(
             path,
             data=self._data,
             alive=self._alive,
+            checksum=np.array(
+                _archive_checksum(self._data, self._alive), dtype=np.uint32
+            ),
             columns=np.array(self.columns or (), dtype="U64"),
             has_columns=np.array(self.columns is not None),
             plan=np.array(self.plan),
@@ -360,9 +391,66 @@ class DiskTable:
 
     @classmethod
     def load(cls, path) -> "DiskTable":
-        """Load a table saved with :meth:`save`."""
+        """Load a table saved with :meth:`save`, validating its integrity.
+
+        Raises :class:`CorruptTableError` when the archive is missing
+        required keys, carries a malformed heap or tombstone bitmap,
+        contains non-finite rows, or fails its stored checksum.  Archives
+        written before checksums existed (no ``checksum`` key) are accepted
+        after the structural checks.
+        """
         with np.load(path, allow_pickle=False) as archive:
-            cost = archive["cost_model"]
+            missing = _REQUIRED_ARCHIVE_KEYS - set(archive.files)
+            if missing:
+                raise CorruptTableError(
+                    f"table archive {path} is missing required keys: "
+                    f"{sorted(missing)}"
+                )
+            data = np.asarray(archive["data"])
+            alive = np.asarray(archive["alive"])
+            if data.ndim != 2:
+                raise CorruptTableError(
+                    f"table archive {path}: data must be 2-D, got {data.ndim}-D"
+                )
+            if not np.issubdtype(data.dtype, np.number):
+                raise CorruptTableError(
+                    f"table archive {path}: data has non-numeric dtype {data.dtype}"
+                )
+            if alive.ndim != 1 or len(alive) != len(data):
+                raise CorruptTableError(
+                    f"table archive {path}: alive bitmap length {alive.shape} "
+                    f"does not match {len(data)} heap rows"
+                )
+            if alive.dtype != np.bool_:
+                raise CorruptTableError(
+                    f"table archive {path}: alive bitmap has dtype "
+                    f"{alive.dtype}, expected bool"
+                )
+            if data.size and not np.isfinite(data).all():
+                live_bad = bool(np.any(~np.isfinite(data[alive])))
+                where = "live rows" if live_bad else "tombstoned rows"
+                raise CorruptTableError(
+                    f"table archive {path}: non-finite values in {where}"
+                )
+            if "checksum" in archive.files:
+                stored = int(archive["checksum"])
+                actual = _archive_checksum(data, alive)
+                if stored != actual:
+                    raise CorruptTableError(
+                        f"table archive {path}: checksum mismatch "
+                        f"(stored {stored:#010x}, computed {actual:#010x})"
+                    )
+            cost = np.asarray(archive["cost_model"], dtype=float)
+            if cost.shape != (4,):
+                raise CorruptTableError(
+                    f"table archive {path}: cost_model must hold 4 values, "
+                    f"got shape {cost.shape}"
+                )
+            plan = str(archive["plan"])
+            if plan not in ("best_index", "bitmap", "seqscan"):
+                raise CorruptTableError(
+                    f"table archive {path}: unknown plan kind {plan!r}"
+                )
             model = DiskCostModel(
                 seek_ms=float(cost[0]),
                 page_read_ms=float(cost[1]),
@@ -375,15 +463,20 @@ class DiskTable:
                 if bool(archive["has_columns"])
                 else None
             )
-            table = cls(
-                archive["data"],
-                cost_model=model,
-                plan=str(archive["plan"]),
-                leaf_capacity=int(archive["leaf_capacity"]),
-                buffer_pages=buffer_pages or None,
-                columns=columns,
-            )
-            table._alive = archive["alive"].copy()
+            try:
+                table = cls(
+                    data,
+                    cost_model=model,
+                    plan=plan,
+                    leaf_capacity=int(archive["leaf_capacity"]),
+                    buffer_pages=buffer_pages or None,
+                    columns=columns,
+                )
+            except ValueError as exc:
+                raise CorruptTableError(
+                    f"table archive {path} failed validation: {exc}"
+                ) from exc
+            table._alive = alive.copy()
         return table
 
     # ------------------------------------------------------------------

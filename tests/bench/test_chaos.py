@@ -1,0 +1,100 @@
+"""Tests for the chaos soak harness and its CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.bench.chaos import ChaosReport, run_chaos_soak
+
+
+@pytest.fixture(scope="module")
+def soak():
+    return run_chaos_soak(n_queries=40, profile="default", seed=0, n_points=500)
+
+
+class TestChaosSoak:
+    def test_soak_passes_acceptance_criteria(self, soak):
+        assert soak.unhandled_exceptions == 0
+        assert soak.incorrect_answers == 0
+        assert soak.exact_fraction >= 0.99
+        assert soak.passed
+
+    def test_breaker_drill_cycles_all_states(self, soak):
+        assert soak.breaker_cycled
+        assert soak.drill_queries > 0
+
+    def test_faults_were_actually_injected(self, soak):
+        assert sum(soak.fault_counts.values()) > 0
+
+    def test_deterministic_replay(self, soak):
+        again = run_chaos_soak(
+            n_queries=40, profile="default", seed=0, n_points=500
+        )
+        assert again.as_dict() == soak.as_dict()
+
+    def test_report_serializes_and_renders(self, soak):
+        payload = soak.as_dict()
+        json.dumps(payload)
+        text = soak.render_text()
+        assert "PASS" in text
+        assert "faults injected" in text
+
+    def test_heavy_profile_never_raises(self):
+        report = run_chaos_soak(
+            n_queries=30, profile="heavy", seed=1, n_points=400
+        )
+        assert report.unhandled_exceptions == 0
+        assert report.incorrect_answers == 0
+
+
+class TestChaosVerdict:
+    def test_failed_report_renders_fail(self):
+        report = ChaosReport(
+            profile="default", seed=0, n_queries=10, unhandled_exceptions=1
+        )
+        assert not report.passed
+        assert "FAIL" in report.render_text()
+
+    def test_stale_floor_enforced(self):
+        report = ChaosReport(
+            profile="default", seed=0, n_queries=100, stale_serves=2
+        )
+        assert report.exact_fraction == pytest.approx(0.98)
+        assert not report.passed
+
+
+class TestChaosCli:
+    def test_chaos_flag_runs_soak_only(self, capsys):
+        from repro.bench.__main__ import main
+
+        code = main(["--chaos", "25", "--faults", "default"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chaos soak" in out
+        assert "fig" not in out.split("chaos soak")[0]  # no figures ran
+
+    def test_bad_profile_rejected(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--chaos", "10", "--faults", "bogus"]) == 2
+
+    def test_nonpositive_chaos_rejected(self):
+        from repro.bench.__main__ import main
+
+        assert main(["--chaos", "0"]) == 2
+
+    def test_figure_failure_exits_3_and_continues(self, capsys, monkeypatch):
+        import repro.bench.__main__ as bench_main
+
+        def boom():
+            raise RuntimeError("mid-workload crash")
+
+        experiments = dict(bench_main.ALL_EXPERIMENTS)
+        experiments["figboom"] = boom
+        monkeypatch.setattr(bench_main, "ALL_EXPERIMENTS", experiments)
+        code = bench_main.main(["figboom", "fig11a"])
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "figboom FAILED" in out
+        assert "mid-workload crash" in out
+        assert "fig11a regenerated" in out  # later figures still ran

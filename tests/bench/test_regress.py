@@ -139,9 +139,42 @@ class TestCompare:
         del cur["figures"]["fig5a"]["methods"]["Baseline"]
         report = compare_snapshots(base, cur)
         assert any(f.status == "missing" for f in report.findings)
+        assert any("Baseline" in w for w in report.warnings)
         cur["figures"] = {}
         report = compare_snapshots(base, cur)
         assert any(f.status == "missing" for f in report.findings)
+        assert any("fig5a" in w for w in report.warnings)
+        assert not report.has_regressions  # warnings never fail the check
+
+    def test_extra_figure_warned(self):
+        base = snapshot_for()
+        cur = copy.deepcopy(snapshot_for(run_id="new"))
+        cur["figures"]["fig9z"] = {"methods": {}}
+        report = compare_snapshots(base, cur)
+        assert any(f.status == "new" for f in report.findings)
+        assert any("fig9z" in w for w in report.warnings)
+
+    def test_malformed_entries_become_warnings_not_errors(self):
+        base = snapshot_for()
+        cur = copy.deepcopy(snapshot_for(run_id="new"))
+        cur["figures"]["fig5a"]["methods"]["Baseline"]["total_ms"] = "garbage"
+        report = compare_snapshots(base, cur)  # must not raise
+        assert any("total_ms" in w for w in report.warnings)
+        # the intact metrics are still compared
+        assert any(f.metric == "points_read" for f in report.findings)
+
+        cur["figures"]["fig5a"] = ["not", "a", "dict"]
+        report = compare_snapshots(base, cur)
+        assert any("malformed" in w for w in report.warnings)
+
+    def test_warnings_rendered_and_serialized(self):
+        base = snapshot_for()
+        cur = copy.deepcopy(snapshot_for(run_id="new"))
+        del cur["figures"]["fig5a"]["methods"]["Baseline"]
+        report = compare_snapshots(base, cur)
+        assert "warning:" in report.render_text()
+        assert report.as_dict()["warnings"]
+        json.dumps(report.as_dict())
 
     def test_scale_mismatch_rejected(self):
         with pytest.raises(SnapshotError, match="scale mismatch"):

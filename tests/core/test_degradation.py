@@ -1,0 +1,179 @@
+"""Tests for resilient CBCS: retries, the degradation ladder, and the
+never-raise / never-silently-wrong contract under storage faults."""
+
+import numpy as np
+import pytest
+
+from repro.core.ampr import ExactMPR
+from repro.core.cbcs import CBCS
+from repro.data.generator import independent
+from repro.geometry.constraints import Constraints
+from repro.obs import MetricsRegistry, Observability, Tracer
+from repro.resilience import CircuitBreaker, Resilience, RetryPolicy
+from repro.skyline.sfs import sfs_skyline
+from repro.storage.faults import (
+    FaultInjector,
+    FaultProfile,
+    FaultyDiskTable,
+)
+from repro.storage.table import DiskTable
+
+
+def reference(data, constraints):
+    region = data[constraints.satisfied_mask(data)]
+    return region[sfs_skyline(region)] if len(region) else region
+
+
+def same_multiset(a, b):
+    a, b = np.asarray(a), np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    if len(a) == 0:
+        return True
+    return np.array_equal(a[np.lexsort(a.T[::-1])], b[np.lexsort(b.T[::-1])])
+
+
+@pytest.fixture
+def data():
+    return independent(400, 2, seed=1)
+
+
+def make_engine(data, profile, seed=0, resilience=True, **cbcs_kwargs):
+    injector = FaultInjector(profile, seed=seed)
+    table = FaultyDiskTable(DiskTable(data), injector)
+    return CBCS(table, resilience=resilience, **cbcs_kwargs), injector
+
+
+class TestRetriesOnTransientFaults:
+    def test_transient_faults_retried_to_exact_answer(self, data):
+        engine, _ = make_engine(data, FaultProfile(transient_io=0.4), seed=5)
+        c = Constraints([0.1, 0.1], [0.8, 0.8])
+        outcome = engine.query(c)
+        assert outcome.degraded is None
+        assert same_multiset(outcome.skyline, reference(data, c))
+        # At 40% fault rate the first queries are bound to retry.
+        total = sum(engine.query(
+            Constraints([0.05 * i, 0.05], [0.05 * i + 0.4, 0.6])
+        ).retries for i in range(8))
+        assert total > 0
+
+    def test_corruption_and_truncation_never_silently_wrong(self, data):
+        engine, _ = make_engine(
+            data, FaultProfile(truncate=0.25, corrupt=0.25), seed=3
+        )
+        for i in range(12):
+            c = Constraints([0.04 * i, 0.1], [0.04 * i + 0.5, 0.9])
+            outcome = engine.query(c)
+            if outcome.degraded in (None, "ampr", "bounding"):
+                assert same_multiset(outcome.skyline, reference(data, c))
+            else:
+                assert outcome.stale
+
+    def test_resilience_off_raises(self, data):
+        engine, _ = make_engine(
+            data, FaultProfile(transient_io=1.0), resilience=None
+        )
+        with pytest.raises(IOError):
+            engine.query(Constraints([0.1, 0.1], [0.8, 0.8]))
+
+
+class TestDegradationLadder:
+    def outage_engine(self, data, **kwargs):
+        engine, injector = make_engine(data, "none", **kwargs)
+        injector.force_outage(10_000)
+        return engine, injector
+
+    def test_total_outage_empty_cache_serves_unavailable(self, data):
+        engine, _ = self.outage_engine(data)
+        outcome = engine.query(Constraints([0.1, 0.1], [0.8, 0.8]))
+        assert outcome.degraded == "unavailable"
+        assert outcome.stale
+        assert outcome.skyline_size == 0
+
+    def test_outage_with_cache_serves_stale_subset(self, data):
+        engine, injector = self.outage_engine(data)
+        injector.clear_outage()
+        wide = Constraints([0.0, 0.0], [0.9, 0.9])
+        warm = engine.query(wide)
+        injector.force_outage(10_000)
+        narrow = Constraints([0.05, 0.05], [0.6, 0.6])
+        outcome = engine.query(narrow)
+        assert outcome.degraded == "stale"
+        assert outcome.stale
+        # Served points are the cached skyline filtered to the query region.
+        assert narrow.satisfied_mask(outcome.skyline).all()
+        served = {tuple(p) for p in outcome.skyline}
+        assert served <= {tuple(p) for p in warm.skyline}
+
+    def test_ampr_rung_used_for_exact_mpr_engine(self, data):
+        # Transient faults on every MPR box fetch, exhausted retries, then
+        # the aMPR re-plan answers (still exactly) on the fallback rung.
+        policy = RetryPolicy(max_attempts=2, deadline_ms=10_000.0)
+        engine, injector = make_engine(
+            data,
+            "none",
+            region_computer=ExactMPR(),
+            resilience=Resilience(policy=policy),
+        )
+        wide = Constraints([0.0, 0.0], [0.9, 0.9])
+        engine.query(wide)
+        injector.force_outage(2)  # fails both attempts of the exact plan
+        narrow = Constraints([0.05, 0.05], [0.6, 0.6])
+        outcome = engine.query(narrow)
+        assert outcome.degraded == "ampr"
+        assert not outcome.stale
+        assert same_multiset(outcome.skyline, reference(data, narrow))
+
+    def test_bounding_rung_still_exact(self, data):
+        # aMPR engine has no fallback region: retries exhausted -> bounding.
+        policy = RetryPolicy(max_attempts=2, deadline_ms=10_000.0)
+        engine, injector = make_engine(
+            data, "none", resilience=Resilience(policy=policy)
+        )
+        wide = Constraints([0.0, 0.0], [0.9, 0.9])
+        engine.query(wide)
+        injector.force_outage(2)
+        narrow = Constraints([0.05, 0.05], [0.6, 0.6])
+        outcome = engine.query(narrow)
+        assert outcome.degraded == "bounding"
+        assert not outcome.stale
+        assert same_multiset(outcome.skyline, reference(data, narrow))
+
+    def test_breaker_open_skips_storage_and_degrades(self, data):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_calls=1000)
+        engine, injector = make_engine(
+            data, "none", resilience=Resilience(breaker=breaker)
+        )
+        injector.force_outage(10_000)
+        engine.query(Constraints([0.1, 0.1], [0.8, 0.8]))
+        assert breaker.state == "open"
+        calls_before = injector.calls
+        outcome = engine.query(Constraints([0.2, 0.2], [0.7, 0.7]))
+        assert outcome.degraded is not None
+        assert injector.calls == calls_before  # rejected before storage
+
+
+class TestOutcomeAccounting:
+    def test_degraded_and_stale_metrics_recorded(self, data):
+        obs = Observability(metrics=MetricsRegistry(), tracer=Tracer())
+        injector = FaultInjector("none", seed=0)
+        table = FaultyDiskTable(DiskTable(data), injector)
+        engine = CBCS(table, obs=obs, resilience=True)
+        injector.force_outage(10_000)
+        engine.query(Constraints([0.1, 0.1], [0.8, 0.8]))
+        m = obs.metrics
+        assert (
+            m.counter_value(
+                "degraded_queries_total", method=engine.name, rung="unavailable"
+            )
+            == 1
+        )
+        assert m.counter_value("stale_serves_total", method=engine.name) == 1
+        assert m.counter_value("degradation_entered_total", method=engine.name) == 1
+
+    def test_outcome_records_carry_new_fields(self, data):
+        engine, _ = make_engine(data, "none")
+        record = engine.query(Constraints([0.1, 0.1], [0.8, 0.8])).as_record()
+        assert record["degraded"] is None
+        assert record["stale"] is False
+        assert record["retries"] == 0

@@ -1,0 +1,118 @@
+"""Tests for the count-based circuit breaker."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.resilience import CircuitBreaker, CircuitOpenError
+
+
+def trip(breaker):
+    """Drive the breaker to open with consecutive failures."""
+    for _ in range(breaker.failure_threshold):
+        breaker.allow()
+        breaker.record_failure()
+    assert breaker.state == "open"
+
+
+class TestStateMachine:
+    def test_opens_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        for _ in range(2):
+            breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.allow()
+        breaker.record_failure()
+        breaker.allow()
+        breaker.record_success()
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # streak broken by the success
+
+    def test_open_rejects_until_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_calls=3)
+        trip(breaker)
+        for _ in range(2):
+            with pytest.raises(CircuitOpenError):
+                breaker.allow()
+        breaker.allow()  # third rejection becomes the half-open probe
+        assert breaker.state == "half_open"
+
+    def test_probe_successes_close(self):
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_calls=1, probe_successes=2
+        )
+        trip(breaker)
+        breaker.allow()
+        assert breaker.state == "half_open"
+        breaker.record_success()
+        assert breaker.state == "half_open"
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_calls=1)
+        trip(breaker)
+        breaker.allow()
+        assert breaker.state == "half_open"
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_transitions_recorded(self):
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_calls=1, probe_successes=1
+        )
+        trip(breaker)
+        breaker.allow()
+        breaker.record_success()
+        states = [(t.from_state, t.to_state) for t in breaker.transitions]
+        assert states == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_calls=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(probe_successes=0)
+
+
+class TestBreakerMetrics:
+    def test_transitions_and_gauge_mirrored(self):
+        metrics = MetricsRegistry()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_calls=1, probe_successes=1,
+            metrics=metrics,
+        )
+        trip(breaker)
+        assert (
+            metrics.counter_value(
+                "breaker_transitions_total",
+                breaker="disk",
+                from_state="closed",
+                to_state="open",
+            )
+            == 1
+        )
+        breaker.allow()
+        breaker.record_success()
+        assert (
+            metrics.counter_value(
+                "breaker_transitions_total",
+                breaker="disk",
+                from_state="half_open",
+                to_state="closed",
+            )
+            == 1
+        )
