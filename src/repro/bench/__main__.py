@@ -29,7 +29,7 @@ import time
 from contextlib import nullcontext
 
 from repro.bench.experiments import ALL_EXPERIMENTS
-from repro.bench.harness import activate_faults, bench_scale
+from repro.bench.harness import activate_faults, activate_workers, bench_scale
 from repro.obs import activate
 
 
@@ -95,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
              "resilience layer enabled",
     )
     parser.add_argument(
+        "--workers", metavar="N", type=int, default=1,
+        help="fetch a plan's disjoint range queries on N concurrent workers "
+             "(default 1 = serial; answers and I/O counters are identical, "
+             "only the effective fetch latency changes)",
+    )
+    parser.add_argument(
         "--chaos", metavar="N", type=int,
         help="run an N-query chaos soak (fault-injected mixed workload with "
              "reference-checked answers and a circuit-breaker drill); "
@@ -116,6 +122,9 @@ def main(argv=None) -> int:
         return 0
     if opts.chaos is not None and opts.chaos < 1:
         print("--chaos needs a positive query count")
+        return 2
+    if opts.workers < 1:
+        print("--workers needs a positive worker count")
         return 2
     if opts.figures:
         names = list(opts.figures)
@@ -159,7 +168,12 @@ def main(argv=None) -> int:
     faults_ctx = (
         nullcontext() if opts.faults is None else activate_faults(opts.faults)
     )
-    with (activate(obs) if obs is not None else nullcontext()), faults_ctx:
+    workers_ctx = (
+        nullcontext() if opts.workers == 1 else activate_workers(opts.workers)
+    )
+    with (
+        activate(obs) if obs is not None else nullcontext()
+    ), faults_ctx, workers_ctx:
         for name in names:
             if obs is not None:
                 # Fresh registry per figure: its distillate feeds the
@@ -219,6 +233,7 @@ def main(argv=None) -> int:
                 n_queries=opts.chaos,
                 profile=opts.faults or "default",
                 obs=obs,
+                workers=opts.workers,
             )
             print(chaos_report.render_text())
             print()

@@ -16,6 +16,11 @@ Modules:
   R*-tree over result MBRs, with LRU/LCU replacement (Sections 6, 6.2);
 - :mod:`~repro.core.strategies` -- the seven cache search strategies of
   Section 6.1;
+- :mod:`~repro.core.planner` -- the pure planning layer (selection, case
+  classification, MPR planning; zero I/O) behind both ``CBCS.explain`` and
+  execution;
+- :mod:`~repro.core.executor` -- runs a plan's disjoint range queries
+  against a storage backend, optionally overlapped on a worker pool;
 - :mod:`~repro.core.cbcs` -- the CBCS query engine tying it all together.
 
 Extensions beyond the paper's evaluation (flagged as future work there):
@@ -40,6 +45,8 @@ from repro.core.cases import (
 )
 from repro.core.cbcs import CBCS
 from repro.core.dynamic import DynamicCBCS
+from repro.core.executor import Executor, FetchOutcome
+from repro.core.planner import PlannedQuery, Planner, QueryPlan
 from repro.core.mpr import MPRResult, compute_mpr
 from repro.core.multi import MultiItemMPR
 from repro.core.stability import guaranteed_stable, is_stable_for
@@ -67,6 +74,11 @@ __all__ = [
     "CostBased",
     "DynamicCBCS",
     "ExactMPR",
+    "Executor",
+    "FetchOutcome",
+    "PlannedQuery",
+    "Planner",
+    "QueryPlan",
     "GENERAL_STABLE",
     "GENERAL_UNSTABLE",
     "MPRResult",

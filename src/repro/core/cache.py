@@ -14,6 +14,7 @@ on the R* tree": this module implements LRU (least recently used) and LCU
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import List, Literal, Optional
 
@@ -71,6 +72,10 @@ class SkylineCache:
         self.capacity = capacity
         self.policy: ReplacementPolicy = policy
         self._rtree_max_entries = rtree_max_entries
+        # Reentrant: verify_and_heal -> quarantine -> _rebuild_index all
+        # nest under one acquisition.  Shared by every engine/service worker
+        # querying through this cache concurrently.
+        self._lock = threading.RLock()
         self._items: dict[int, CacheItem] = {}
         self._by_constraints: dict[tuple, int] = {}
         self._index: Optional[RTree] = None
@@ -108,58 +113,62 @@ class SkylineCache:
         if skyline.ndim != 2 or skyline.shape[1] != constraints.ndim:
             raise ValueError("skyline must be a (k, d) array matching constraints")
 
-        existing_id = self._by_constraints.get(constraints.key())
-        if existing_id is not None:
-            item = self._items[existing_id]
-            if not np.array_equal(item.skyline, skyline):
-                self._reindex(item, skyline)
-                self.refreshes += 1
-                self.metrics.inc("cache_refreshes_total")
-            self.touch(item)
-            return item
+        with self._lock:
+            existing_id = self._by_constraints.get(constraints.key())
+            if existing_id is not None:
+                item = self._items[existing_id]
+                if not np.array_equal(item.skyline, skyline):
+                    self._reindex(item, skyline)
+                    self.refreshes += 1
+                    self.metrics.inc("cache_refreshes_total")
+                self.touch(item)
+                return item
 
-        item = CacheItem(
-            constraints=constraints,
-            skyline=skyline.copy(),
-            mbr_lo=skyline.min(axis=0),
-            mbr_hi=skyline.max(axis=0),
-            item_id=next(self._id_counter),
-            inserted_at=next(self._clock),
-        )
-        item.last_used = item.inserted_at
-        if self._index is None:
-            self._index = RTree(
-                constraints.ndim, max_entries=self._rtree_max_entries
+            item = CacheItem(
+                constraints=constraints,
+                skyline=skyline.copy(),
+                mbr_lo=skyline.min(axis=0),
+                mbr_hi=skyline.max(axis=0),
+                item_id=next(self._id_counter),
+                inserted_at=next(self._clock),
             )
-        self._items[item.item_id] = item
-        self._by_constraints[constraints.key()] = item.item_id
-        self._index.insert(item.mbr_lo, item.mbr_hi, item.item_id)
-        self.insertions += 1
-        self.metrics.inc("cache_insertions_total")
-        self._evict_if_needed()
-        self.metrics.set_gauge("cache_items", len(self._items))
-        return item
+            item.last_used = item.inserted_at
+            if self._index is None:
+                self._index = RTree(
+                    constraints.ndim, max_entries=self._rtree_max_entries
+                )
+            self._items[item.item_id] = item
+            self._by_constraints[constraints.key()] = item.item_id
+            self._index.insert(item.mbr_lo, item.mbr_hi, item.item_id)
+            self.insertions += 1
+            self.metrics.inc("cache_insertions_total")
+            self._evict_if_needed()
+            self.metrics.set_gauge("cache_items", len(self._items))
+            return item
 
     def remove(self, item: CacheItem) -> None:
         """Drop one item (used by dynamic-data maintenance, Section 6.2)."""
-        if item.item_id in self._items:
-            self._remove(item)
+        with self._lock:
+            if item.item_id in self._items:
+                self._remove(item)
 
     def replace_skyline(self, item: CacheItem, skyline: np.ndarray) -> Optional[CacheItem]:
         """Swap an item's skyline (and MBR) after a data update, keeping its
         constraints; returns the refreshed item (use counters carry over)."""
         skyline = np.asarray(skyline, dtype=float)
-        self.remove(item)
-        refreshed = self.insert(item.constraints, skyline)
-        if refreshed is not None:
-            refreshed.use_count = item.use_count
-            refreshed.last_used = item.last_used
-        return refreshed
+        with self._lock:
+            self.remove(item)
+            refreshed = self.insert(item.constraints, skyline)
+            if refreshed is not None:
+                refreshed.use_count = item.use_count
+                refreshed.last_used = item.last_used
+            return refreshed
 
     def touch(self, item: CacheItem) -> None:
         """Record a use of ``item`` (feeds the LRU/LCU counters)."""
-        item.last_used = next(self._clock)
-        item.use_count += 1
+        with self._lock:
+            item.last_used = next(self._clock)
+            item.use_count += 1
 
     def _reindex(self, item: CacheItem, skyline: np.ndarray) -> None:
         """Swap ``item``'s skyline/MBR in place and refresh its index entry."""
@@ -175,9 +184,10 @@ class SkylineCache:
 
     def clear(self) -> None:
         """Drop every item."""
-        self._items.clear()
-        self._by_constraints.clear()
-        self._index = None
+        with self._lock:
+            self._items.clear()
+            self._by_constraints.clear()
+            self._index = None
         self.metrics.set_gauge("cache_items", 0)
 
     # ------------------------------------------------------------------
@@ -191,11 +201,12 @@ class SkylineCache:
         (Section 6).  Hit/miss counters are updated unless ``record`` is
         False (used by dry-run paths such as :meth:`repro.core.cbcs.CBCS.explain`).
         """
-        if self._index is None or len(self._items) == 0:
-            items: List[CacheItem] = []
-        else:
-            ids = self._index.search(query.lo, query.hi)
-            items = [self._items[i] for i in ids]
+        with self._lock:
+            if self._index is None or len(self._items) == 0:
+                items: List[CacheItem] = []
+            else:
+                ids = self._index.search(query.lo, query.hi)
+                items = [self._items[i] for i in ids]
         if record:
             if items:
                 self.hits += 1
@@ -207,8 +218,9 @@ class SkylineCache:
 
     def exact_match(self, query: Constraints) -> Optional[CacheItem]:
         """Return the item cached under exactly these constraints, if any."""
-        item_id = self._by_constraints.get(query.key())
-        return self._items.get(item_id) if item_id is not None else None
+        with self._lock:
+            item_id = self._by_constraints.get(query.key())
+            return self._items.get(item_id) if item_id is not None else None
 
     # ------------------------------------------------------------------
     # Self-healing (invariant verification and quarantine)
@@ -267,28 +279,30 @@ class SkylineCache:
         sync with the item (a corrupt MBR cannot locate its own R*-tree
         entry): the index is rebuilt from the surviving items instead.
         """
-        if item.item_id not in self._items:
-            return
-        del self._items[item.item_id]
-        self._by_constraints.pop(item.constraints.key(), None)
-        removed = (
-            self._index.delete(item.mbr_lo, item.mbr_hi, item.item_id)
-            if self._index is not None
-            else False
-        )
-        if not removed:
-            self._rebuild_index()
-        self.quarantined += 1
+        with self._lock:
+            if item.item_id not in self._items:
+                return
+            del self._items[item.item_id]
+            self._by_constraints.pop(item.constraints.key(), None)
+            removed = (
+                self._index.delete(item.mbr_lo, item.mbr_hi, item.item_id)
+                if self._index is not None
+                else False
+            )
+            if not removed:
+                self._rebuild_index()
+            self.quarantined += 1
         self.metrics.inc("cache_quarantined_total", reason=reason)
         self.metrics.set_gauge("cache_items", len(self._items))
 
     def verify_and_heal(self, item: CacheItem, sample: int = 16) -> bool:
         """Verify ``item``; quarantine it on violation.  True = healthy."""
-        problems = self.verify_item(item, sample=sample)
-        if not problems:
-            return True
-        self.quarantine(item, reason=problems[0])
-        return False
+        with self._lock:
+            problems = self.verify_item(item, sample=sample)
+            if not problems:
+                return True
+            self.quarantine(item, reason=problems[0])
+            return False
 
     def _rebuild_index(self) -> None:
         """Reconstruct the R*-tree from the live items (self-healing)."""
@@ -309,9 +323,10 @@ class SkylineCache:
         ``cache_evictions_total`` / ``cache_insertions_total`` and the
         ``cache_items`` gauge.
         """
-        lookups = self.hits + self.misses
-        return {
-            "items": len(self._items),
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "items": len(self._items),
             "capacity": self.capacity,
             "policy": self.policy,
             "hits": self.hits,
@@ -327,7 +342,8 @@ class SkylineCache:
         return len(self._items)
 
     def __iter__(self):
-        return iter(self._items.values())
+        with self._lock:
+            return iter(list(self._items.values()))
 
     # ------------------------------------------------------------------
     # Persistence
@@ -335,18 +351,23 @@ class SkylineCache:
     def save(self, path) -> None:
         """Save every cached item (constraints, skyline, use counters) to
         ``.npz`` so a service can restart with a warm semantic cache."""
-        arrays = {
-            "n_items": np.array(len(self._items)),
-            "capacity": np.array(self.capacity if self.capacity is not None else -1),
-            "policy": np.array(self.policy),
-        }
-        for i, item in enumerate(sorted(self._items.values(), key=lambda it: it.item_id)):
-            arrays[f"lo_{i}"] = np.asarray(item.constraints.lo)
-            arrays[f"hi_{i}"] = np.asarray(item.constraints.hi)
-            arrays[f"sky_{i}"] = item.skyline
-            arrays[f"meta_{i}"] = np.array(
-                [item.inserted_at, item.last_used, item.use_count]
-            )
+        with self._lock:
+            arrays = {
+                "n_items": np.array(len(self._items)),
+                "capacity": np.array(
+                    self.capacity if self.capacity is not None else -1
+                ),
+                "policy": np.array(self.policy),
+            }
+            for i, item in enumerate(
+                sorted(self._items.values(), key=lambda it: it.item_id)
+            ):
+                arrays[f"lo_{i}"] = np.asarray(item.constraints.lo)
+                arrays[f"hi_{i}"] = np.asarray(item.constraints.hi)
+                arrays[f"sky_{i}"] = item.skyline
+                arrays[f"meta_{i}"] = np.array(
+                    [item.inserted_at, item.last_used, item.use_count]
+                )
         np.savez_compressed(path, **arrays)
 
     @classmethod

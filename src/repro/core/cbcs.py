@@ -7,39 +7,54 @@ select the most efficient based on a cache search strategy.  We then compute
 the MPR.  Finally we fetch the points in the MPR, merge them with the cached
 Sky(S, C), and compute Sky(S, C')."
 
-The engine is parameterized by the cache, the search strategy, the region
-computer (exact MPR or aMPR), and the in-memory skyline algorithm (SFS by
-default, as in the paper -- "the benefit of our CBCS method is independent
-of the skyline algorithm used").  Every query returns a
-:class:`~repro.stats.QueryOutcome` with the Figure-10 stage breakdown.
+The engine is split into three layers (see ``docs/architecture.md``):
+
+- a pure :class:`~repro.core.planner.Planner` that owns cache-item
+  selection, case classification (Section 5) and MPR/aMPR planning -- zero
+  I/O, shared verbatim by :meth:`CBCS.explain` and the execution path;
+- an :class:`~repro.core.executor.Executor` that runs a plan's disjoint
+  range queries against a :class:`~repro.storage.backend.StorageBackend`,
+  optionally overlapping them on a bounded thread pool (``workers > 1``);
+- a backend stack composed of decorators
+  (:class:`~repro.storage.backend.ResilientBackend` for validation + retry
+  + circuit breaker, :class:`~repro.storage.backend.InstrumentedBackend`
+  for per-call counters) over the base :class:`~repro.storage.table.DiskTable`.
+
+``CBCS`` itself keeps the stateful glue: the cache (search, verification,
+insertion), the degradation ladder, and the per-query accounting.  Every
+query returns a :class:`~repro.stats.QueryOutcome` with the Figure-10 stage
+breakdown.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.core.ampr import ApproximateMPR
 from repro.core.cache import SkylineCache
-from repro.core.cases import CASE_EXACT, classify_change
+from repro.core.cases import CASE_EXACT
+from repro.core.executor import Executor
+from repro.core.planner import CASE_MISS, Planner, QueryPlan
 from repro.core.strategies import CacheSearchStrategy, MaxOverlapSP
-from repro.geometry.box import Box
 from repro.geometry.constraints import Constraints
 from repro.obs import NULL_OBS
-from repro.resilience import (
-    DEGRADABLE,
-    call_with_retry,
-    resolve_resilience,
-    validate_range_result,
-)
+from repro.resilience import DEGRADABLE, resolve_resilience
 from repro.skyline.sfs import sfs_skyline
 from repro.stats import QueryOutcome, Stopwatch
+from repro.storage.backend import build_backend
 from repro.storage.table import DiskTable
 
-CASE_MISS = "miss"
+__all__ = [
+    "CBCS",
+    "CASE_MISS",
+    "QueryPlan",
+    "RUNG_AMPR",
+    "RUNG_BOUNDING",
+    "RUNG_STALE",
+    "RUNG_UNAVAILABLE",
+]
 
 #: Degradation-ladder rung labels stamped into ``QueryOutcome.degraded``.
 #: ``ampr`` and ``bounding`` answers are still exact; ``stale`` serves a
@@ -49,71 +64,6 @@ RUNG_AMPR = "ampr"
 RUNG_BOUNDING = "bounding"
 RUNG_STALE = "stale"
 RUNG_UNAVAILABLE = "unavailable"
-
-
-def _box_to_dict(box: Box) -> dict:
-    """Serialize a box as per-dimension interval dicts (None = unbounded)."""
-    return {
-        "intervals": [
-            {
-                "lo": None if math.isinf(iv.lo) else iv.lo,
-                "hi": None if math.isinf(iv.hi) else iv.hi,
-                "lo_open": iv.lo_open,
-                "hi_open": iv.hi_open,
-            }
-            for iv in box.intervals
-        ]
-    }
-
-
-@dataclass
-class QueryPlan:
-    """A dry-run description of how CBCS would answer a query.
-
-    Produced by :meth:`CBCS.explain` without touching the disk or mutating
-    the cache -- the EXPLAIN of this engine.  ``estimated_points`` uses the
-    table's per-dimension selectivity estimates for each planned range
-    query, so it is an upper-bound style estimate, not an exact count.
-    """
-
-    case: str
-    cache_hit: bool
-    stable: Optional[bool]
-    candidates: int
-    item_id: Optional[int]
-    reusable_points: int
-    range_queries: int
-    estimated_points: int
-    boxes: List[Box] = field(default_factory=list)
-
-    def to_dict(self) -> dict:
-        """JSON-serializable rendering of the plan.
-
-        Infinite box bounds become ``None`` so the result round-trips
-        through strict JSON; used by the plan-accuracy audit
-        (:mod:`repro.obs.audit`) and the bench ``--json`` dump.
-        """
-        return {
-            "case": self.case,
-            "cache_hit": self.cache_hit,
-            "stable": self.stable,
-            "candidates": self.candidates,
-            "item_id": self.item_id,
-            "reusable_points": self.reusable_points,
-            "range_queries": self.range_queries,
-            "estimated_points": self.estimated_points,
-            "boxes": [_box_to_dict(box) for box in self.boxes],
-        }
-
-    def summary(self) -> str:
-        """One-line human-readable rendering."""
-        source = f"item #{self.item_id}" if self.cache_hit else "no cache item"
-        return (
-            f"case={self.case} via {source} ({self.candidates} candidates); "
-            f"reuse {self.reusable_points} cached points, issue "
-            f"{self.range_queries} range queries (~{self.estimated_points} "
-            f"points)"
-        )
 
 
 class CBCS:
@@ -129,6 +79,7 @@ class CBCS:
         cache_results: bool = True,
         obs=None,
         resilience=None,
+        workers: int = 1,
     ):
         """``region_computer`` defaults to the 1-NN aMPR, the paper's default
         for interactive workloads; pass :class:`~repro.core.ampr.ExactMPR`
@@ -142,12 +93,20 @@ class CBCS:
 
         ``resilience`` enables the fault-tolerance layer: pass ``True`` for
         defaults or a :class:`repro.resilience.Resilience` to tune the
-        retry policy / circuit breaker.  With it on, storage fetches are
-        validated and retried, exhausted retries fall down the degradation
-        ladder (aMPR re-plan -> bounding fetch -> stale cache serve)
-        instead of raising, and cache items are invariant-verified before
-        CBCS prunes with them.  The default ``None`` keeps the historic
-        fail-fast behaviour with zero overhead.
+        retry policy / circuit breaker.  With it on, every storage range
+        query runs through a :class:`~repro.storage.backend.ResilientBackend`
+        (validated, retried per box against a shared per-query budget,
+        guarded by the circuit breaker); exhausted retries fall down the
+        degradation ladder (aMPR re-plan -> bounding fetch -> stale cache
+        serve) instead of raising, and cache items are invariant-verified
+        before CBCS prunes with them.  The default ``None`` keeps the
+        historic fail-fast behaviour with zero overhead.
+
+        ``workers`` sizes the executor's fetch pool.  The default 1 keeps
+        the historic serial semantics bit-for-bit; ``workers > 1`` overlaps
+        a plan's disjoint range queries on a bounded thread pool -- answers
+        and I/O counters stay identical (results are gathered in plan
+        order), only the effective fetch latency drops.
         """
         self.table = table
         # explicit None checks: an empty SkylineCache is falsy (len 0)
@@ -177,10 +136,20 @@ class CBCS:
                 self.resilience.bind_metrics(obs.metrics)
             if self._fallback_region is not None:
                 self._fallback_region.bind_obs(obs)
+        self.workers = int(workers)
+        self.planner = Planner(self.strategy, self.region, self.table.estimate_count)
+        self.executor = Executor(workers=self.workers, obs=obs)
+        #: the storage stack all query I/O goes through; ``self.table`` stays
+        #: the caller's handle for data maintenance (append/delete/vacuum)
+        self.backend = build_backend(self.table, resilience=self.resilience, obs=obs)
 
     @property
     def name(self) -> str:
         return f"CBCS[{self.region.name}]"
+
+    def close(self) -> None:
+        """Release the executor's worker pool (no-op when serial)."""
+        self.executor.close()
 
     # ------------------------------------------------------------------
     # Querying
@@ -218,31 +187,20 @@ class CBCS:
         outcome.retries = state.retries
         return outcome
 
-    def _fetch(self, fn, retry_state):
-        """Run one storage fetch, optionally under breaker + retry + validation.
+    def _record_fetch_timings(self, watch: Stopwatch, io, fetch) -> None:
+        """Fill the two fetch-latency fields of the stage breakdown.
 
-        ``fn`` must be re-invocable (a retry refetches from scratch).  With
-        resilience off (``retry_state`` None) this is a plain call.
+        ``io_ms_total`` is always the aggregate simulated I/O the query
+        charged (retries included, straight from the table's counters).
+        ``fetch_io_ms`` -- the Figure-10 "fetching" stage -- equals that
+        aggregate when the fetch ran serially, and the executor's overlap-
+        aware makespan when boxes actually ran on multiple lanes, so the
+        stage breakdown keeps summing to the effective response time.
         """
-        if retry_state is None:
-            return fn()
-        res = self.resilience
-        res.breaker.allow()  # raises CircuitOpenError while open
-
-        def attempt():
-            result = fn()
-            validate_range_result(result)
-            return result
-
-        try:
-            result = call_with_retry(
-                attempt, retry_state, metrics=self.obs.metrics, op="fetch"
-            )
-        except Exception:
-            res.breaker.record_failure()
-            raise
-        res.breaker.record_success()
-        return result
+        watch.timings.io_ms_total = io.simulated_io_ms
+        watch.timings.fetch_io_ms = (
+            fetch.effective_io_ms if fetch.workers > 1 else io.simulated_io_ms
+        )
 
     def _answer(
         self,
@@ -260,16 +218,10 @@ class CBCS:
         with watch.stage("processing"):
             with obs.tracer.span("cache.search"):
                 candidates = self.cache.candidates(constraints)
-            item = (
-                self.strategy.select(constraints, candidates) if candidates else None
-            )
+            item = self.planner.select(constraints, candidates)
             while verify and item is not None and not self.cache.verify_and_heal(item):
                 candidates = [c for c in candidates if c is not item]
-                item = (
-                    self.strategy.select(constraints, candidates)
-                    if candidates
-                    else None
-                )
+                item = self.planner.select(constraints, candidates)
         obs.metrics.inc(
             "cache_lookups_total",
             strategy=self.strategy.name,
@@ -282,12 +234,17 @@ class CBCS:
 
         with watch.stage("processing"):
             with obs.tracer.span("case.classify") as cspan:
-                case = classify_change(item.constraints, constraints)
-                cspan.set(case=case, item_id=item.item_id)
-            if case == CASE_EXACT:
+                planned = self.planner.plan(
+                    constraints,
+                    candidates,
+                    item=item,
+                    region_override=region_override,
+                )
+                cspan.set(case=planned.case, item_id=item.item_id)
+            if planned.case == CASE_EXACT:
                 self.cache.touch(item)
                 qspan.set(case=CASE_EXACT, cache_hit=True)
-                outcome = QueryOutcome(
+                return QueryOutcome(
                     skyline=item.skyline.copy(),
                     method=self.name,
                     timings=watch.timings,
@@ -295,15 +252,13 @@ class CBCS:
                     stable=True,
                     cache_hit=True,
                 )
-                return outcome
-            mpr = self._compute_region(
-                item, candidates, constraints, region_override=region_override
-            )
+        mpr = planned.mpr
 
         with watch.stage("fetch_wall"):
-            fetched = self._fetch(
-                lambda: self.table.fetch_boxes(mpr.boxes), retry_state
+            fetch = self.executor.fetch(
+                self.backend, planned.plan.boxes, retry_state
             )
+        fetched = fetch.result
 
         with watch.stage("skyline"):
             with obs.tracer.span("skyline.merge") as mspan:
@@ -339,14 +294,14 @@ class CBCS:
                 # so a slipped-through corruption cannot poison later queries.
                 self.cache.verify_and_heal(inserted)
         io = self.table.stats.delta_since(io_before)
-        watch.timings.fetch_io_ms = io.simulated_io_ms
-        qspan.set(case=case, cache_hit=True, stable=mpr.stable)
+        self._record_fetch_timings(watch, io, fetch)
+        qspan.set(case=planned.case, cache_hit=True, stable=mpr.stable)
         return QueryOutcome(
             skyline=skyline,
             method=self.name,
             timings=watch.timings,
             io=io,
-            case=case,
+            case=planned.case,
             stable=mpr.stable,
             cache_hit=True,
         )
@@ -354,82 +309,17 @@ class CBCS:
     def explain(self, constraints: Constraints) -> QueryPlan:
         """Describe how a query would be answered, without executing it.
 
-        Performs the cache search, strategy selection and region computation
-        but issues no disk fetches and leaves the cache untouched (no use
-        counters, no insertion) -- safe to call repeatedly.
+        Delegates to the same :class:`~repro.core.planner.Planner` the
+        execution path runs, so the plan agrees with execution by
+        construction.  Performs the cache search, strategy selection and
+        region computation but issues no disk fetches and leaves the cache
+        untouched (no use counters, no insertion) -- safe to call
+        repeatedly.
         """
         if constraints.ndim != self.table.ndim:
             raise ValueError("constraints dimensionality does not match the table")
         candidates = self.cache.candidates(constraints, record=False)
-
-        if not candidates:
-            region = constraints.region()
-            return QueryPlan(
-                case=CASE_MISS,
-                cache_hit=False,
-                stable=None,
-                candidates=0,
-                item_id=None,
-                reusable_points=0,
-                range_queries=1,
-                estimated_points=self._estimate_box(region),
-                boxes=[region],
-            )
-        item = self.strategy.select(constraints, candidates)
-        case = classify_change(item.constraints, constraints)
-        if case == CASE_EXACT:
-            return QueryPlan(
-                case=CASE_EXACT,
-                cache_hit=True,
-                stable=True,
-                candidates=len(candidates),
-                item_id=item.item_id,
-                reusable_points=item.skyline_size,
-                range_queries=0,
-                estimated_points=0,
-            )
-        mpr = self._compute_region(item, candidates, constraints)
-        return QueryPlan(
-            case=case,
-            cache_hit=True,
-            stable=mpr.stable,
-            candidates=len(candidates),
-            item_id=item.item_id,
-            reusable_points=len(mpr.surviving),
-            range_queries=len(mpr.boxes),
-            estimated_points=sum(self._estimate_box(b) for b in mpr.boxes),
-            boxes=list(mpr.boxes),
-        )
-
-    def _estimate_box(self, box) -> int:
-        """Most-selective-dimension estimate of a box's row count."""
-        return min(
-            self.table.estimate_count(i, iv.lo, iv.hi)
-            for i, iv in enumerate(box.intervals)
-        )
-
-    def _compute_region(self, item, candidates, constraints, region_override=None):
-        """Compute the missing-points region for the chosen item.
-
-        Region computers exposing ``compute_multi`` (the Section 6.3
-        multi-item extension, :class:`repro.core.multi.MultiItemMPR`)
-        receive the strategy's pick first plus the remaining candidates
-        ranked by overlap volume; single-item computers get the pick alone.
-        ``region_override`` substitutes the degradation ladder's aMPR
-        re-plan for the configured computer.
-        """
-        region = self.region if region_override is None else region_override
-        if hasattr(region, "compute_multi") and len(candidates) > 1:
-            others = sorted(
-                (c for c in candidates if c is not item),
-                key=lambda c: c.constraints.overlap_volume(constraints),
-                reverse=True,
-            )
-            ranked = [(item.constraints, item.skyline)] + [
-                (c.constraints, c.skyline) for c in others
-            ]
-            return region.compute_multi(ranked, constraints)
-        return region.compute(item.constraints, item.skyline, constraints)
+        return self.planner.plan(constraints, candidates).plan
 
     # ------------------------------------------------------------------
     # Cache management helpers
@@ -449,15 +339,16 @@ class CBCS:
     ) -> QueryOutcome:
         """Cache miss: compute naively (range query + skyline algorithm)."""
         with watch.stage("fetch_wall"):
-            result = self._fetch(
-                lambda: self.table.range_query(constraints.region()), retry_state
+            fetch = self.executor.fetch(
+                self.backend, [constraints.region()], retry_state
             )
+        result = fetch.result
         with watch.stage("skyline"):
             skyline = result.points[self.skyline_algorithm(result.points)]
         if self.cache_results:
             self.cache.insert(constraints, skyline)
         io = self.table.stats.delta_since(io_before)
-        watch.timings.fetch_io_ms = io.simulated_io_ms
+        self._record_fetch_timings(watch, io, fetch)
         return QueryOutcome(
             skyline=skyline,
             method=self.name,

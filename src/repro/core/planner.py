@@ -1,0 +1,217 @@
+"""The pure planning layer of the CBCS engine.
+
+:class:`Planner` owns everything about answering Sky(S, C') that can be
+decided *without touching the disk*: which cached skyline to reuse (via the
+configured :class:`~repro.core.strategies.CacheSearchStrategy`), which
+overlap case the query falls into (Section 5's cases a-d), and which
+disjoint range queries cover the missing-points region (exact MPR or aMPR).
+It emits a :class:`QueryPlan` -- the engine's EXPLAIN record -- plus the
+intermediate products the executor needs to actually run it.
+
+Both :meth:`repro.core.cbcs.CBCS.explain` and the execution path call the
+same :meth:`Planner.plan`, so explain/execute agreement holds by
+construction: there is exactly one piece of code that decides what a query
+will do.
+
+The planner performs zero I/O.  Its only inputs are the query constraints,
+the candidate cache items (the caller does the cache search, because the
+R*-tree lookup is stateful -- hit/miss counters, verification), and an
+I/O-free per-dimension selectivity estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.cases import CASE_EXACT, classify_change
+from repro.geometry.box import Box
+from repro.geometry.constraints import Constraints
+
+CASE_MISS = "miss"
+
+
+@dataclass
+class QueryPlan:
+    """A dry-run description of how CBCS would answer a query.
+
+    Produced by :meth:`Planner.plan` (surfaced as :meth:`CBCS.explain`)
+    without touching the disk or mutating the cache -- the EXPLAIN of this
+    engine.  ``estimated_points`` uses the table's per-dimension selectivity
+    estimates for each planned range query, so it is an upper-bound style
+    estimate, not an exact count.
+    """
+
+    case: str
+    cache_hit: bool
+    stable: Optional[bool]
+    candidates: int
+    item_id: Optional[int]
+    reusable_points: int
+    range_queries: int
+    estimated_points: int
+    boxes: List[Box] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable rendering of the plan.
+
+        Infinite box bounds become ``None`` so the result round-trips
+        through strict JSON; used by the plan-accuracy audit
+        (:mod:`repro.obs.audit`) and the bench ``--json`` dump.
+        """
+        return {
+            "case": self.case,
+            "cache_hit": self.cache_hit,
+            "stable": self.stable,
+            "candidates": self.candidates,
+            "item_id": self.item_id,
+            "reusable_points": self.reusable_points,
+            "range_queries": self.range_queries,
+            "estimated_points": self.estimated_points,
+            "boxes": [box.to_dict() for box in self.boxes],
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable rendering."""
+        source = f"item #{self.item_id}" if self.cache_hit else "no cache item"
+        return (
+            f"case={self.case} via {source} ({self.candidates} candidates); "
+            f"reuse {self.reusable_points} cached points, issue "
+            f"{self.range_queries} range queries (~{self.estimated_points} "
+            f"points)"
+        )
+
+
+@dataclass
+class PlannedQuery:
+    """A :class:`QueryPlan` plus the working state the executor needs.
+
+    ``plan`` is the serializable EXPLAIN record; ``item`` is the selected
+    cache item (None on a miss) and ``mpr`` the computed missing-points
+    region (None on a miss or an exact hit, where there is nothing to
+    fetch).  ``mpr.boxes == plan.boxes`` whenever ``mpr`` is set.
+    """
+
+    plan: QueryPlan
+    constraints: Constraints
+    item: Optional[object] = None
+    mpr: Optional[object] = None
+
+    @property
+    def case(self) -> str:
+        return self.plan.case
+
+
+class Planner:
+    """Pure query planner: cache-item selection + case + region, no I/O.
+
+    ``estimate_count(dim, lo, hi)`` must be an in-memory selectivity
+    estimate (the table's histogram lookup) -- the planner trusts it to
+    charge no simulated I/O.
+    """
+
+    def __init__(
+        self,
+        strategy,
+        region_computer,
+        estimate_count: Callable[[int, float, float], int],
+    ):
+        self.strategy = strategy
+        self.region = region_computer
+        self.estimate_count = estimate_count
+
+    def select(self, constraints: Constraints, candidates) -> Optional[object]:
+        """Pick the cache item to reuse, or None when nothing qualifies."""
+        if not candidates:
+            return None
+        return self.strategy.select(constraints, candidates)
+
+    def plan(
+        self,
+        constraints: Constraints,
+        candidates,
+        item=None,
+        region_override=None,
+    ) -> PlannedQuery:
+        """Plan one query against the given (already verified) candidates.
+
+        ``item`` lets the caller pass a pre-selected (and cache-verified)
+        item so selection is not repeated; with the default None the
+        strategy picks from ``candidates``.  ``region_override`` substitutes
+        the degradation ladder's aMPR re-plan for the configured region
+        computer.
+        """
+        if item is None:
+            item = self.select(constraints, candidates)
+        if item is None:
+            region = constraints.region()
+            plan = QueryPlan(
+                case=CASE_MISS,
+                cache_hit=False,
+                stable=None,
+                candidates=0,
+                item_id=None,
+                reusable_points=0,
+                range_queries=1,
+                estimated_points=self.estimate_box(region),
+                boxes=[region],
+            )
+            return PlannedQuery(plan=plan, constraints=constraints)
+
+        case = classify_change(item.constraints, constraints)
+        if case == CASE_EXACT:
+            plan = QueryPlan(
+                case=CASE_EXACT,
+                cache_hit=True,
+                stable=True,
+                candidates=len(candidates),
+                item_id=item.item_id,
+                reusable_points=item.skyline_size,
+                range_queries=0,
+                estimated_points=0,
+            )
+            return PlannedQuery(plan=plan, constraints=constraints, item=item)
+
+        mpr = self.compute_region(
+            item, candidates, constraints, region_override=region_override
+        )
+        plan = QueryPlan(
+            case=case,
+            cache_hit=True,
+            stable=mpr.stable,
+            candidates=len(candidates),
+            item_id=item.item_id,
+            reusable_points=len(mpr.surviving),
+            range_queries=len(mpr.boxes),
+            estimated_points=sum(self.estimate_box(b) for b in mpr.boxes),
+            boxes=list(mpr.boxes),
+        )
+        return PlannedQuery(plan=plan, constraints=constraints, item=item, mpr=mpr)
+
+    def estimate_box(self, box: Box) -> int:
+        """Most-selective-dimension estimate of a box's row count."""
+        return min(
+            self.estimate_count(i, iv.lo, iv.hi)
+            for i, iv in enumerate(box.intervals)
+        )
+
+    def compute_region(self, item, candidates, constraints, region_override=None):
+        """Compute the missing-points region for the chosen item.
+
+        Region computers exposing ``compute_multi`` (the Section 6.3
+        multi-item extension, :class:`repro.core.multi.MultiItemMPR`)
+        receive the strategy's pick first plus the remaining candidates
+        ranked by overlap volume; single-item computers get the pick alone.
+        """
+        region = self.region if region_override is None else region_override
+        if hasattr(region, "compute_multi") and len(candidates) > 1:
+            others = sorted(
+                (c for c in candidates if c is not item),
+                key=lambda c: c.constraints.overlap_volume(constraints),
+                reverse=True,
+            )
+            ranked = [(item.constraints, item.skyline)] + [
+                (c.constraints, c.skyline) for c in others
+            ]
+            return region.compute_multi(ranked, constraints)
+        return region.compute(item.constraints, item.skyline, constraints)

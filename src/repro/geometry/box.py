@@ -105,6 +105,25 @@ class Box:
             vol *= iv.length()
         return vol
 
+    def to_dict(self) -> dict:
+        """Serialize as per-dimension interval dicts (None = unbounded).
+
+        Infinite bounds become ``None`` so the result round-trips through
+        strict JSON; used by :meth:`repro.core.planner.QueryPlan.to_dict`
+        and the observability exports.
+        """
+        return {
+            "intervals": [
+                {
+                    "lo": None if math.isinf(iv.lo) else iv.lo,
+                    "hi": None if math.isinf(iv.hi) else iv.hi,
+                    "lo_open": iv.lo_open,
+                    "hi_open": iv.hi_open,
+                }
+                for iv in self.intervals
+            ]
+        }
+
     # ------------------------------------------------------------------
     # Set algebra
     # ------------------------------------------------------------------

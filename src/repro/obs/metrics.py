@@ -16,6 +16,7 @@ construction can guard on :attr:`MetricsRegistry.enabled`.
 from __future__ import annotations
 
 import json
+import threading
 from typing import Dict, Iterator, List, Optional, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
@@ -114,6 +115,9 @@ class MetricsRegistry:
         self._gauges: Dict[Tuple[str, LabelKey], float] = {}
         self._histograms: Dict[Tuple[str, LabelKey], HistogramData] = {}
         self._max_histogram_samples = max_histogram_samples
+        # Mutations are read-modify-write on shared dicts/histograms; one
+        # registry-wide lock keeps them safe under concurrent query workers.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Mutation
@@ -121,26 +125,30 @@ class MetricsRegistry:
     def inc(self, name: str, amount: float = 1.0, **labels) -> None:
         """Add ``amount`` to the counter ``name`` for this label set."""
         key = (name, _label_key(labels))
-        self._counters[key] = self._counters.get(key, 0.0) + amount
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + amount
 
     def set_gauge(self, name: str, value: float, **labels) -> None:
         """Set the gauge ``name`` to ``value`` for this label set."""
-        self._gauges[(name, _label_key(labels))] = float(value)
+        with self._lock:
+            self._gauges[(name, _label_key(labels))] = float(value)
 
     def observe(self, name: str, value: float, **labels) -> None:
         """Record one observation into the histogram ``name``."""
         key = (name, _label_key(labels))
-        hist = self._histograms.get(key)
-        if hist is None:
-            hist = HistogramData(self._max_histogram_samples)
-            self._histograms[key] = hist
-        hist.observe(value)
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = HistogramData(self._max_histogram_samples)
+                self._histograms[key] = hist
+            hist.observe(value)
 
     def reset(self) -> None:
         """Drop every recorded series (e.g. between benchmark figures)."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry into this one.
@@ -150,15 +158,16 @@ class MetricsRegistry:
         CLI to keep per-figure registries (for ``BENCH_*.json`` snapshots)
         while still producing one cumulative ``metrics.json`` per run.
         """
-        for key, value in other._counters.items():
-            self._counters[key] = self._counters.get(key, 0.0) + value
-        self._gauges.update(other._gauges)
-        for key, hist in other._histograms.items():
-            mine = self._histograms.get(key)
-            if mine is None:
-                mine = HistogramData(self._max_histogram_samples)
-                self._histograms[key] = mine
-            mine.merge(hist)
+        with self._lock:
+            for key, value in other._counters.items():
+                self._counters[key] = self._counters.get(key, 0.0) + value
+            self._gauges.update(other._gauges)
+            for key, hist in other._histograms.items():
+                mine = self._histograms.get(key)
+                if mine is None:
+                    mine = HistogramData(self._max_histogram_samples)
+                    self._histograms[key] = mine
+                mine.merge(hist)
 
     # ------------------------------------------------------------------
     # Reading

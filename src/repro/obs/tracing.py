@@ -25,6 +25,7 @@ immediately.
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from typing import Dict, List, Optional
 
@@ -108,9 +109,20 @@ class Tracer:
 
     def __init__(self, sinks=()):
         self.sinks = list(sinks)
-        self._stack: List[Span] = []
+        # The open-span stack is thread-local: each executor/service worker
+        # builds its own span tree (worker spans are roots in their thread)
+        # instead of racing on one shared stack and mis-parenting spans.
+        self._local = threading.local()
         self._ids = itertools.count(1)
+        self._emit_lock = threading.Lock()
         self._epoch = time.perf_counter()
+
+    @property
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def add_sink(self, sink) -> "Tracer":
         self.sinks.append(sink)
@@ -171,8 +183,9 @@ class Tracer:
         if not self.sinks:
             return
         record = span.to_dict()
-        for sink in self.sinks:
-            sink.emit(record)
+        with self._emit_lock:
+            for sink in self.sinks:
+                sink.emit(record)
 
     def close(self) -> None:
         """Close every sink that supports closing (e.g. JSONL files)."""

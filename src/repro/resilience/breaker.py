@@ -20,6 +20,7 @@ open/half-open/closed flips are observable in ``--obs`` exports.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -76,6 +77,9 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._rejected_in_open = 0
         self._probe_streak = 0
+        # allow()/record_*() interleave from concurrent executor workers;
+        # reentrant so _transition's metric mirroring nests safely.
+        self._lock = threading.RLock()
         self.metrics = NULL_METRICS if metrics is None else metrics
         self.metrics.set_gauge("breaker_state", STATE_CODES[self.state], breaker=name)
 
@@ -93,34 +97,41 @@ class CircuitBreaker:
     def allow(self) -> None:
         """Admit or reject the next operation; raises :class:`CircuitOpenError`
         when the circuit is open (counting the rejection toward cooldown)."""
-        self.calls += 1
-        if self.state == OPEN:
-            self._rejected_in_open += 1
-            if self._rejected_in_open >= self.cooldown_calls:
-                self._transition(HALF_OPEN)
-                return  # this call becomes the first probe
-            raise CircuitOpenError(
-                f"breaker {self.name!r} is open "
-                f"({self._rejected_in_open}/{self.cooldown_calls} cooldown calls)"
-            )
+        with self._lock:
+            self.calls += 1
+            if self.state == OPEN:
+                self._rejected_in_open += 1
+                if self._rejected_in_open >= self.cooldown_calls:
+                    self._transition(HALF_OPEN)
+                    return  # this call becomes the first probe
+                raise CircuitOpenError(
+                    f"breaker {self.name!r} is open "
+                    f"({self._rejected_in_open}/{self.cooldown_calls} "
+                    f"cooldown calls)"
+                )
 
     def record_success(self) -> None:
         """Report that the admitted operation succeeded."""
-        if self.state == HALF_OPEN:
-            self._probe_streak += 1
-            if self._probe_streak >= self.probe_successes:
-                self._transition(CLOSED)
-        else:
-            self._consecutive_failures = 0
+        with self._lock:
+            if self.state == HALF_OPEN:
+                self._probe_streak += 1
+                if self._probe_streak >= self.probe_successes:
+                    self._transition(CLOSED)
+            else:
+                self._consecutive_failures = 0
 
     def record_failure(self) -> None:
         """Report that the admitted operation failed (retries included)."""
-        if self.state == HALF_OPEN:
-            self._transition(OPEN)
-            return
-        self._consecutive_failures += 1
-        if self.state == CLOSED and self._consecutive_failures >= self.failure_threshold:
-            self._transition(OPEN)
+        with self._lock:
+            if self.state == HALF_OPEN:
+                self._transition(OPEN)
+                return
+            self._consecutive_failures += 1
+            if (
+                self.state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._transition(OPEN)
 
     # ------------------------------------------------------------------
     # Internals

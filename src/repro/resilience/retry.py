@@ -14,6 +14,7 @@ the chaos soak's fault replay exact.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.obs.metrics import NULL_METRICS
@@ -73,6 +74,9 @@ class RetryState:
         self.retries = 0
         self.spent_ms = 0.0
         self._token = 0
+        # One retry budget may be drawn on by several executor workers
+        # retrying different boxes of the same query concurrently.
+        self._lock = threading.Lock()
 
     @property
     def remaining_ms(self) -> float:
@@ -80,8 +84,22 @@ class RetryState:
 
     def next_token(self) -> int:
         """A fresh per-operation jitter token within this query."""
-        self._token += 1
-        return self._token
+        with self._lock:
+            self._token += 1
+            return self._token
+
+    def try_spend(self, delay_ms: float) -> bool:
+        """Atomically charge one backoff delay to the budget.
+
+        Returns False (leaving the budget untouched) when the charge would
+        exceed the deadline -- the caller's cue to stop retrying.
+        """
+        with self._lock:
+            if self.spent_ms + delay_ms > self.policy.deadline_ms:
+                return False
+            self.spent_ms += delay_ms
+            self.retries += 1
+            return True
 
 
 def call_with_retry(fn, state: RetryState, metrics=None, op: str = "fetch"):
@@ -105,13 +123,11 @@ def call_with_retry(fn, state: RetryState, metrics=None, op: str = "fetch"):
                     f"{op} failed after {attempt} attempts"
                 ) from exc
             delay = policy.backoff_ms(attempt, token)
-            if state.spent_ms + delay > policy.deadline_ms:
+            if not state.try_spend(delay):
                 raise RetriesExhausted(
                     f"{op} abandoned: deadline budget exhausted "
                     f"({state.spent_ms:.1f}ms of {policy.deadline_ms:.1f}ms spent)"
                 ) from exc
-            state.spent_ms += delay
-            state.retries += 1
             metrics.inc("storage_retries_total", op=op)
             metrics.observe("retry_backoff_ms", delay, op=op)
             attempt += 1

@@ -1,0 +1,148 @@
+"""A small concurrent serving front for the CBCS engine.
+
+:class:`QueryService` accepts Sky(S, C') requests from many clients at
+once, answering them on a bounded worker pool against **one shared
+engine** -- one skyline cache, one storage backend, one set of metrics.
+This is the layer a driver program talks to; the engine itself stays a
+single-query object.
+
+Thread-safety contract: the engine's shared state is individually locked
+(cache R*-tree and items, table stats, fault injector, retry budget,
+breaker), so concurrent queries are safe and every *answer* is correct.
+Per-query I/O attribution (``QueryOutcome.io``) is taken from deltas of the
+table's global counters and may therefore include a concurrent neighbour's
+reads; the aggregate counters remain exact.  Single-query runs are
+unaffected.
+
+Example::
+
+    with QueryService(engine, workers=4) as svc:
+        report = svc.run(queries)
+    print(report.per_worker)   # {'cbcs-svc_0': 13, 'cbcs-svc_1': 12, ...}
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["QueryService", "ServiceReport"]
+
+
+@dataclass
+class ServiceReport:
+    """Outcome of one batch served concurrently.
+
+    ``outcomes`` is ordered like the submitted queries (None where that
+    query raised); ``errors`` pairs each failed query's index with the
+    exception; ``per_worker`` counts answered queries by worker-thread
+    name, showing how the batch spread over the pool.
+    """
+
+    outcomes: List[Optional[object]] = field(default_factory=list)
+    errors: List[Tuple[int, Exception]] = field(default_factory=list)
+    per_worker: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def answered(self) -> int:
+        return sum(1 for o in self.outcomes if o is not None)
+
+    def summary(self) -> str:
+        lanes = ", ".join(
+            f"{name}: {count}" for name, count in sorted(self.per_worker.items())
+        )
+        return (
+            f"{self.answered}/{len(self.outcomes)} answered, "
+            f"{len(self.errors)} errors; per worker: {lanes or 'none'}"
+        )
+
+
+class QueryService:
+    """Serve constrained skyline queries concurrently from one engine.
+
+    ``workers`` bounds the number of in-flight queries (independent of the
+    engine's own fetch parallelism -- a 4-worker service over a 4-worker
+    engine can have 16 range queries in flight).  The pool is created
+    lazily and shut down by :meth:`close` / the context manager.
+    """
+
+    def __init__(self, engine, workers: int = 4):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.engine = engine
+        self.workers = int(workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+        self._per_worker: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def submit(self, constraints) -> Future:
+        """Enqueue one query; returns a Future of its ``QueryOutcome``."""
+        return self._ensure_pool().submit(self._answer, constraints)
+
+    def run(self, queries) -> ServiceReport:
+        """Answer a batch concurrently; returns an ordered report.
+
+        Results come back in submission order regardless of completion
+        order.  A query that raises (e.g. storage faults with resilience
+        off) is reported in ``errors`` instead of aborting the batch.
+        """
+        baseline = self.per_worker
+        futures = [self.submit(c) for c in queries]
+        report = ServiceReport()
+        for i, future in enumerate(futures):
+            try:
+                report.outcomes.append(future.result())
+            except Exception as exc:  # noqa: BLE001 - reported, not hidden
+                report.outcomes.append(None)
+                report.errors.append((i, exc))
+        report.per_worker = {
+            name: count - baseline.get(name, 0)
+            for name, count in self.per_worker.items()
+            if count - baseline.get(name, 0)
+        }
+        return report
+
+    def _answer(self, constraints):
+        outcome = self.engine.query(constraints)
+        worker = threading.current_thread().name
+        with self._lock:
+            self._per_worker[worker] = self._per_worker.get(worker, 0) + 1
+        return outcome
+
+    @property
+    def per_worker(self) -> Dict[str, int]:
+        """Lifetime answered-query counts by worker-thread name."""
+        with self._lock:
+            return dict(self._per_worker)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="cbcs-svc"
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Drain in-flight queries and shut the pool down (idempotent)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"QueryService(engine={self.engine!r}, workers={self.workers})"

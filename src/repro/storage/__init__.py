@@ -12,18 +12,35 @@ reproduces that substrate in-process:
   dominant cost (random access to fetch points) without real spinning rust;
 - :class:`~repro.storage.pager.IOStats` -- counters for range queries,
   empty queries, seeks, pages and points read, matching the quantities
-  reported in the paper's Figures 8 and 9.
+  reported in the paper's Figures 8 and 9;
+- :class:`~repro.storage.backend.StorageBackend` -- the structural protocol
+  every storage layer satisfies, with the stacking decorators
+  (:class:`~repro.storage.backend.ResilientBackend`,
+  :class:`~repro.storage.backend.InstrumentedBackend`) that compose fault
+  tolerance and instrumentation over a base table.
 """
 
+from repro.storage.backend import (
+    BackendDecorator,
+    InstrumentedBackend,
+    ResilientBackend,
+    StorageBackend,
+    build_backend,
+)
 from repro.storage.costmodel import DiskCostModel
 from repro.storage.pager import IOStats
 from repro.storage.table import CorruptTableError, DiskTable, RangeResult
 
 __all__ = [
+    "BackendDecorator",
     "CorruptTableError",
     "DiskCostModel",
     "DiskTable",
     "IOStats",
+    "InstrumentedBackend",
     "RangeResult",
+    "ResilientBackend",
+    "StorageBackend",
+    "build_backend",
 ]
 

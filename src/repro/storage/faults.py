@@ -27,6 +27,7 @@ instead of silently computing a wrong skyline.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, replace
 from typing import List, Optional, Union
 
@@ -152,6 +153,9 @@ class FaultInjector:
         self.trace: List[FaultEvent] = []
         self.metrics = NULL_METRICS if metrics is None else metrics
         self._outage_remaining = 0
+        # Guards the PRNG, call counter, trace, and outage budget so
+        # concurrent executor workers draw verdicts without corruption.
+        self._lock = threading.RLock()
 
     def bind_metrics(self, metrics: Optional[MetricsRegistry]) -> "FaultInjector":
         """Attach (or detach, with None) a shared metrics registry."""
@@ -165,11 +169,13 @@ class FaultInjector:
         """Make the next ``calls`` draws fail with transient I/O errors."""
         if calls < 0:
             raise ValueError("outage length must be non-negative")
-        self._outage_remaining = calls
+        with self._lock:
+            self._outage_remaining = calls
 
     def clear_outage(self) -> None:
         """End a forced outage immediately."""
-        self._outage_remaining = 0
+        with self._lock:
+            self._outage_remaining = 0
 
     @property
     def in_outage(self) -> bool:
@@ -180,27 +186,30 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def draw(self, op: str) -> Optional[str]:
         """Return the fault kind for the next call, or None (no fault)."""
-        self.calls += 1
-        if self._outage_remaining > 0:
-            self._outage_remaining -= 1
-            kind: Optional[str] = "transient_io"
-        else:
-            u = self._rng.random()
-            kind = None
-            acc = 0.0
-            for candidate in FAULT_KINDS:
-                acc += getattr(self.profile, candidate)
-                if u < acc:
-                    kind = candidate
-                    break
+        with self._lock:
+            self.calls += 1
+            if self._outage_remaining > 0:
+                self._outage_remaining -= 1
+                kind: Optional[str] = "transient_io"
+            else:
+                u = self._rng.random()
+                kind = None
+                acc = 0.0
+                for candidate in FAULT_KINDS:
+                    acc += getattr(self.profile, candidate)
+                    if u < acc:
+                        kind = candidate
+                        break
+            if kind is not None:
+                self.trace.append(FaultEvent(self.calls, op, kind))
         if kind is not None:
-            self.trace.append(FaultEvent(self.calls, op, kind))
             self.metrics.inc("faults_injected_total", kind=kind, op=op)
         return kind
 
     def pick_index(self, n: int) -> int:
         """Deterministically pick an index in ``[0, n)`` (fault targeting)."""
-        return self._rng.randrange(n)
+        with self._lock:
+            return self._rng.randrange(n)
 
     def fault_counts(self) -> dict:
         """Injected-fault totals by kind (from the trace)."""
@@ -243,35 +252,34 @@ class FaultyDiskTable:
             raise TransientStorageError("injected transient I/O failure")
         result = self.inner.range_query(box)
         if kind == "latency":
-            self.inner.stats.simulated_io_ms += self.injector.profile.latency_ms
+            # The spike is charged to the table's aggregate stats *and* to
+            # this call's io_ms, so the parallel executor's lane schedule
+            # sees the per-box latency it can hide behind other boxes.
+            latency_ms = self.injector.profile.latency_ms
+            self.inner.charge_io(latency_ms)
+            result = replace(result, io_ms=result.io_ms + latency_ms)
         elif kind == "truncate" and len(result) > 0:
             # Short read: payload loses a suffix, header row count intact
             # (len(points) != len(rowids) is the detectable signature).
             keep = self.injector.pick_index(len(result))
-            result = RangeResult(
-                points=result.points[:keep],
-                rowids=result.rowids,
-                rows_fetched=result.rows_fetched,
-            )
+            result = replace(result, points=result.points[:keep])
         elif kind == "corrupt" and len(result) > 0:
             points = result.points.copy()
             row = self.injector.pick_index(len(points))
             col = self.injector.pick_index(points.shape[1])
             points[row, col] = float("nan")
-            result = RangeResult(
-                points=points,
-                rowids=result.rowids,
-                rows_fetched=result.rows_fetched,
-            )
+            result = replace(result, points=points)
         return result
 
     def fetch_boxes(self, boxes) -> RangeResult:
         all_points = []
         all_rows = []
         fetched = 0
+        io_total = 0.0
         for box in boxes:
             result = self.range_query(box)
             fetched += result.rows_fetched
+            io_total += result.io_ms
             # Concatenate points and rowids independently: a truncated box
             # (len(points) < len(rowids)) keeps its detectable length
             # mismatch in the aggregate instead of silently losing rows.
@@ -282,7 +290,10 @@ class FaultyDiskTable:
         if not all_rows and not all_points:
             empty = self.inner._empty_result()
             return RangeResult(
-                points=empty.points, rowids=empty.rowids, rows_fetched=fetched
+                points=empty.points,
+                rowids=empty.rowids,
+                rows_fetched=fetched,
+                io_ms=io_total,
             )
         return RangeResult(
             points=(
@@ -296,6 +307,7 @@ class FaultyDiskTable:
                 else self.inner._empty_result().rowids
             ),
             rows_fetched=fetched,
+            io_ms=io_total,
         )
 
     def full_scan(self) -> RangeResult:
@@ -304,5 +316,7 @@ class FaultyDiskTable:
             raise TransientStorageError("injected transient I/O failure")
         result = self.inner.full_scan()
         if kind == "latency":
-            self.inner.stats.simulated_io_ms += self.injector.profile.latency_ms
+            latency_ms = self.injector.profile.latency_ms
+            self.inner.charge_io(latency_ms)
+            result = replace(result, io_ms=result.io_ms + latency_ms)
         return result

@@ -34,8 +34,9 @@ latency follows the table's :class:`~repro.storage.costmodel.DiskCostModel`.
 from __future__ import annotations
 
 import math
+import threading
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, List, Literal, Optional, Sequence
 
 import numpy as np
@@ -78,11 +79,18 @@ def _archive_checksum(data: np.ndarray, alive: np.ndarray) -> int:
 class RangeResult:
     """Result of one range query: matching points, their row ids, and the
     number of heap rows fetched to produce them (candidates incl. false
-    positives of the chosen plan)."""
+    positives of the chosen plan).
+
+    ``io_ms`` is the simulated disk latency this one call charged (stamped
+    under the table lock); the concurrent executor schedules per-box
+    ``io_ms`` values onto its worker lanes to derive the effective parallel
+    fetch latency.
+    """
 
     points: np.ndarray
     rowids: np.ndarray
     rows_fetched: int
+    io_ms: float = 0.0
 
     def __len__(self) -> int:
         return len(self.rowids)
@@ -119,6 +127,9 @@ class DiskTable:
         self.cost_model = cost_model or DiskCostModel()
         self.plan: PlanKind = plan
         self.stats = IOStats()
+        # One disk head: concurrent range queries serialize on this lock, so
+        # IOStats read-modify-writes stay exact under a parallel executor.
+        self._lock = threading.RLock()
         self.obs = NULL_OBS if obs is None else obs
         self._leaf_capacity = leaf_capacity
         self._alive = np.ones(len(data), dtype=bool)
@@ -242,19 +253,17 @@ class DiskTable:
         """
         obs = self.obs
         if not obs.enabled:
-            return self._execute_range_query(box)
-        # Instrumented path: one span per range query plus table counters,
-        # charged from the IOStats delta so the span reflects exactly what
-        # this call cost.
-        points_before = self.stats.points_read
-        io_before = self.stats.simulated_io_ms
+            return self._locked_range_query(box)
+        # Instrumented path: one span per range query plus table counters.
+        # The span's I/O figures come from the result itself (stamped under
+        # the table lock), so they stay exact under concurrent fetches.
         with obs.tracer.span("table.range_query", plan=self.plan) as span:
-            result = self._execute_range_query(box)
+            result = self._locked_range_query(box)
             span.set(
                 rows=len(result),
                 rows_fetched=result.rows_fetched,
-                points_read=self.stats.points_read - points_before,
-                simulated_io_ms=round(self.stats.simulated_io_ms - io_before, 6),
+                points_read=result.rows_fetched,
+                simulated_io_ms=round(result.io_ms, 6),
             )
         m = obs.metrics
         m.inc("table_range_queries_total", plan=self.plan)
@@ -263,6 +272,20 @@ class DiskTable:
         else:
             m.inc("table_points_read_total", result.rows_fetched, plan=self.plan)
         return result
+
+    def _locked_range_query(self, box: Box) -> RangeResult:
+        """Run one range query under the table lock, stamping its I/O cost."""
+        with self._lock:
+            io_before = self.stats.simulated_io_ms
+            result = self._execute_range_query(box)
+            io_ms = self.stats.simulated_io_ms - io_before
+        return replace(result, io_ms=io_ms) if io_ms else result
+
+    def charge_io(self, ms: float) -> None:
+        """Charge extra simulated I/O latency (e.g. an injected latency
+        spike) to the table's stats, safely under the table lock."""
+        with self._lock:
+            self.stats.simulated_io_ms += ms
 
     def _execute_range_query(self, box: Box) -> RangeResult:
         if box.ndim != self.ndim:
@@ -318,18 +341,21 @@ class DiskTable:
         all_points: List[np.ndarray] = []
         all_rows: List[np.ndarray] = []
         fetched = 0
+        io_total = 0.0
         for box in boxes:
             result = self.range_query(box)
             fetched += result.rows_fetched
+            io_total += result.io_ms
             if len(result):
                 all_points.append(result.points)
                 all_rows.append(result.rowids)
         if not all_rows:
-            return self._empty_result()
+            return replace(self._empty_result(), io_ms=io_total)
         return RangeResult(
             points=np.concatenate(all_points),
             rowids=np.concatenate(all_rows),
             rows_fetched=fetched,
+            io_ms=io_total,
         )
 
     def full_scan(self) -> RangeResult:
@@ -341,17 +367,20 @@ class DiskTable:
         return self._execute_full_scan()
 
     def _execute_full_scan(self) -> RangeResult:
-        self.stats.full_scans += 1
-        n_pages = self.n_pages
-        self.stats.pages_read += n_pages
-        self.stats.seeks += 1 if n_pages else 0
-        self.stats.points_read += self.n
-        self.stats.simulated_io_ms += self.cost_model.sequential_scan_cost_ms(n_pages)
-        alive_ids = np.flatnonzero(self._alive)
+        with self._lock:
+            self.stats.full_scans += 1
+            n_pages = self.n_pages
+            scan_ms = self.cost_model.sequential_scan_cost_ms(n_pages)
+            self.stats.pages_read += n_pages
+            self.stats.seeks += 1 if n_pages else 0
+            self.stats.points_read += self.n
+            self.stats.simulated_io_ms += scan_ms
+            alive_ids = np.flatnonzero(self._alive)
         return RangeResult(
             points=self._data[alive_ids].copy(),
             rowids=alive_ids,
             rows_fetched=self.n,
+            io_ms=scan_ms,
         )
 
     # ------------------------------------------------------------------
@@ -490,35 +519,41 @@ class DiskTable:
             raise ValueError("appended rows must match the table's dimensionality")
         if rows.size and not np.isfinite(rows).all():
             raise ValueError("appended rows must be finite")
-        start = self.n
-        new_ids = np.arange(start, start + len(rows), dtype=np.int64)
-        self._data = np.ascontiguousarray(np.vstack([self._data, rows]))
-        self._alive = np.concatenate([self._alive, np.ones(len(rows), dtype=bool)])
-        self._vacuumable = np.concatenate(
-            [self._vacuumable, np.ones(len(rows), dtype=bool)]
-        )
-        for i in range(self.ndim):
-            column = rows[:, i]
-            for value, rowid in zip(column, new_ids):
-                self._indexes[i].insert(float(value), int(rowid))
-            positions = np.searchsorted(self._sorted_vals[i], column)
-            self._sorted_vals[i] = np.insert(self._sorted_vals[i], positions, column)
-        self.domain_lo = np.minimum(self.domain_lo, rows.min(axis=0))
-        self.domain_hi = np.maximum(self.domain_hi, rows.max(axis=0))
-        n_pages = math.ceil(len(rows) / self.cost_model.page_size)
-        self.stats.pages_read += n_pages
-        self.stats.seeks += 1
-        self.stats.simulated_io_ms += self.cost_model.fetch_cost_ms(1, n_pages)
+        with self._lock:
+            start = self.n
+            new_ids = np.arange(start, start + len(rows), dtype=np.int64)
+            self._data = np.ascontiguousarray(np.vstack([self._data, rows]))
+            self._alive = np.concatenate(
+                [self._alive, np.ones(len(rows), dtype=bool)]
+            )
+            self._vacuumable = np.concatenate(
+                [self._vacuumable, np.ones(len(rows), dtype=bool)]
+            )
+            for i in range(self.ndim):
+                column = rows[:, i]
+                for value, rowid in zip(column, new_ids):
+                    self._indexes[i].insert(float(value), int(rowid))
+                positions = np.searchsorted(self._sorted_vals[i], column)
+                self._sorted_vals[i] = np.insert(
+                    self._sorted_vals[i], positions, column
+                )
+            self.domain_lo = np.minimum(self.domain_lo, rows.min(axis=0))
+            self.domain_hi = np.maximum(self.domain_hi, rows.max(axis=0))
+            n_pages = math.ceil(len(rows) / self.cost_model.page_size)
+            self.stats.pages_read += n_pages
+            self.stats.seeks += 1
+            self.stats.simulated_io_ms += self.cost_model.fetch_cost_ms(1, n_pages)
         return new_ids
 
     def delete(self, rowids: np.ndarray) -> int:
         """Mark rows deleted (tombstones, PostgreSQL-style: indexes keep the
         entries, queries filter dead rows).  Returns how many rows died."""
         rowids = np.atleast_1d(np.asarray(rowids, dtype=np.int64))
-        if len(rowids) and (rowids.min() < 0 or rowids.max() >= self.n):
-            raise IndexError("row id out of range")
-        killed = int(self._alive[rowids].sum())
-        self._alive[rowids] = False
+        with self._lock:
+            if len(rowids) and (rowids.min() < 0 or rowids.max() >= self.n):
+                raise IndexError("row id out of range")
+            killed = int(self._alive[rowids].sum())
+            self._alive[rowids] = False
         return killed
 
     def vacuum(self) -> int:
@@ -528,16 +563,17 @@ class DiskTable:
         selectivity estimates stop seeing the dead rows.  Returns the number
         of rows vacuumed.
         """
-        dead = np.flatnonzero(~self._alive & self._vacuumable)
-        if len(dead) == 0:
-            return 0
-        for i in range(self.ndim):
-            column = self._data[:, i]
-            for rowid in dead:
-                self._indexes[i].delete(float(column[rowid]), int(rowid))
-            alive_vals = column[self._alive]
-            self._sorted_vals[i] = np.sort(alive_vals)
-        self._vacuumable[dead] = False
+        with self._lock:
+            dead = np.flatnonzero(~self._alive & self._vacuumable)
+            if len(dead) == 0:
+                return 0
+            for i in range(self.ndim):
+                column = self._data[:, i]
+                for rowid in dead:
+                    self._indexes[i].delete(float(column[rowid]), int(rowid))
+                alive_vals = column[self._alive]
+                self._sorted_vals[i] = np.sort(alive_vals)
+            self._vacuumable[dead] = False
         return len(dead)
 
     def row(self, rowid: int) -> np.ndarray:

@@ -1,0 +1,118 @@
+"""Tests for the concurrent :class:`repro.service.QueryService` front."""
+
+import numpy as np
+import pytest
+
+from repro.core.cbcs import CBCS
+from repro.data.generator import independent
+from repro.geometry.constraints import Constraints
+from repro.service import QueryService, ServiceReport
+from repro.skyline.sfs import sfs_skyline
+from repro.storage.faults import FaultInjector, FaultProfile, FaultyDiskTable
+from repro.storage.table import DiskTable
+from repro.workload.generator import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def data():
+    return independent(1_500, 2, seed=21)
+
+
+def reference(data, constraints):
+    region = data[constraints.satisfied_mask(data)]
+    return region[sfs_skyline(region)] if len(region) else region
+
+
+def same_multiset(a, b):
+    a, b = np.asarray(a), np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    if len(a) == 0:
+        return True
+    return np.array_equal(a[np.lexsort(a.T[::-1])], b[np.lexsort(b.T[::-1])])
+
+
+def make_queries(data, n=24):
+    gen = WorkloadGenerator(data, seed=5)
+    return list(gen.independent_queries(n))
+
+
+class TestConcurrentServing:
+    def test_all_answers_correct_under_concurrency(self, data):
+        engine = CBCS(DiskTable(data))
+        queries = make_queries(data)
+        with QueryService(engine, workers=8) as svc:
+            report = svc.run(queries)
+        assert report.answered == len(queries)
+        assert not report.errors
+        # answers are ordered like the submitted queries and each one is
+        # the true constrained skyline, whatever cache state it hit
+        for constraints, outcome in zip(queries, report.outcomes):
+            assert same_multiset(outcome.skyline, reference(data, constraints))
+
+    def test_work_spreads_over_worker_threads(self, data):
+        engine = CBCS(DiskTable(data))
+        with QueryService(engine, workers=4) as svc:
+            report = svc.run(make_queries(data, n=32))
+        assert sum(report.per_worker.values()) == 32
+        assert all(name.startswith("cbcs-svc") for name in report.per_worker)
+        assert "answered" in report.summary()
+        assert isinstance(report, ServiceReport)
+
+    def test_one_shared_cache_serves_every_worker(self, data):
+        engine = CBCS(DiskTable(data))
+        c = Constraints([0.1, 0.1], [0.8, 0.8])
+        with QueryService(engine, workers=4) as svc:
+            report = svc.run([c] * 16)
+        assert report.answered == 16
+        # after the first answer is cached, repeats are exact cache hits;
+        # concurrent duplicates may each compute it, but at least the tail
+        # of the batch must have hit the shared cache
+        assert sum(1 for o in report.outcomes if o.case == "exact") > 0
+        assert len(engine.cache) >= 1
+
+    def test_submit_returns_future(self, data):
+        engine = CBCS(DiskTable(data))
+        c = Constraints([0.2, 0.2], [0.7, 0.7])
+        with QueryService(engine, workers=2) as svc:
+            outcome = svc.submit(c).result()
+        assert same_multiset(outcome.skyline, reference(data, c))
+
+
+class TestErrorReporting:
+    def test_failures_reported_not_raised(self, data):
+        injector = FaultInjector(FaultProfile(transient_io=1.0), seed=3)
+        engine = CBCS(FaultyDiskTable(DiskTable(data), injector))  # no resilience
+        with QueryService(engine, workers=4) as svc:
+            report = svc.run(make_queries(data, n=8))
+        assert report.answered == 0
+        assert len(report.errors) == 8
+        assert all(isinstance(exc, IOError) for _, exc in report.errors)
+        assert [i for i, _ in report.errors] == list(range(8))
+
+    def test_resilient_engine_degrades_instead(self, data):
+        injector = FaultInjector(FaultProfile(transient_io=1.0), seed=3)
+        engine = CBCS(
+            FaultyDiskTable(DiskTable(data), injector), resilience=True
+        )
+        with QueryService(engine, workers=4) as svc:
+            report = svc.run(make_queries(data, n=6))
+        assert not report.errors
+        assert all(o.degraded is not None for o in report.outcomes)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_pool_recreates(self, data):
+        engine = CBCS(DiskTable(data))
+        svc = QueryService(engine, workers=2)
+        c = Constraints([0.1, 0.1], [0.9, 0.9])
+        svc.submit(c).result()
+        svc.close()
+        svc.close()
+        # the pool lazily recreates after close
+        assert svc.submit(c).result().skyline is not None
+        svc.close()
+
+    def test_rejects_nonpositive_workers(self, data):
+        with pytest.raises(ValueError):
+            QueryService(CBCS(DiskTable(data)), workers=0)
