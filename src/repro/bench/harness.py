@@ -212,7 +212,7 @@ def make_cbcs(
         )
         table = FaultyDiskTable(table, injector)
         resilience = True
-    return CBCS(
+    engine = CBCS(
         table,
         cache=cache if cache is not None else SkylineCache(),
         strategy=strategy,
@@ -221,6 +221,9 @@ def make_cbcs(
         resilience=resilience,
         workers=active_workers(),
     )
+    if obs.enabled:
+        obs.last_cache = engine.cache
+    return engine
 
 
 def make_methods(

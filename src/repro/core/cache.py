@@ -15,13 +15,15 @@ from __future__ import annotations
 
 import itertools
 import threading
-from dataclasses import dataclass
-from typing import List, Literal, Optional
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional
 
 import numpy as np
 
 from repro.geometry.constraints import Constraints
 from repro.index.rtree import RTree
+from repro.obs.correlate import current_query_id
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 
 ReplacementPolicy = Literal["lru", "lcu"]
@@ -39,10 +41,19 @@ class CacheItem:
     inserted_at: int
     last_used: int = 0
     use_count: int = 0
+    #: uses broken down by the overlap case that reused this item (cases
+    #: a-d / ``exact``; plain touches without a case land under None) --
+    #: cache-introspection evidence for :mod:`repro.obs.cacheview`
+    case_uses: Dict[Optional[str], int] = field(default_factory=dict)
 
     @property
     def skyline_size(self) -> int:
         return len(self.skyline)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident size of the cached skyline payload."""
+        return int(self.skyline.nbytes)
 
     def __repr__(self) -> str:
         return (
@@ -87,6 +98,9 @@ class SkylineCache:
         self.insertions = 0
         self.refreshes = 0
         self.quarantined = 0
+        #: most recent quarantine events (item id, reason, correlated query
+        #: id when one was bound) -- surfaced by :mod:`repro.obs.cacheview`
+        self.quarantine_log: deque = deque(maxlen=64)
         self.metrics = NULL_METRICS if metrics is None else metrics
 
     def bind_metrics(self, metrics: Optional[MetricsRegistry]) -> "SkylineCache":
@@ -164,11 +178,18 @@ class SkylineCache:
                 refreshed.last_used = item.last_used
             return refreshed
 
-    def touch(self, item: CacheItem) -> None:
-        """Record a use of ``item`` (feeds the LRU/LCU counters)."""
+    def touch(self, item: CacheItem, case: Optional[str] = None) -> None:
+        """Record a use of ``item`` (feeds the LRU/LCU counters).
+
+        ``case`` optionally attributes the use to the overlap case that
+        reused the item (cases a-d / ``exact``), feeding the per-case hit
+        breakdown that :mod:`repro.obs.cacheview` reports.
+        """
         with self._lock:
             item.last_used = next(self._clock)
             item.use_count += 1
+            if case is not None:
+                item.case_uses[case] = item.case_uses.get(case, 0) + 1
 
     def _reindex(self, item: CacheItem, skyline: np.ndarray) -> None:
         """Swap ``item``'s skyline/MBR in place and refresh its index entry."""
@@ -292,6 +313,13 @@ class SkylineCache:
             if not removed:
                 self._rebuild_index()
             self.quarantined += 1
+            self.quarantine_log.append(
+                {
+                    "item_id": item.item_id,
+                    "reason": reason,
+                    "query_id": current_query_id(),
+                }
+            )
         self.metrics.inc("cache_quarantined_total", reason=reason)
         self.metrics.set_gauge("cache_items", len(self._items))
 

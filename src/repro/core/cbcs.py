@@ -28,6 +28,7 @@ breakdown.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Callable, Optional
 
 import numpy as np
@@ -39,7 +40,7 @@ from repro.core.executor import Executor
 from repro.core.planner import CASE_MISS, Planner, QueryPlan
 from repro.core.strategies import CacheSearchStrategy, MaxOverlapSP
 from repro.geometry.constraints import Constraints
-from repro.obs import NULL_OBS
+from repro.obs import NULL_OBS, bind, current_query_id
 from repro.resilience import DEGRADABLE, resolve_resilience
 from repro.skyline.sfs import sfs_skyline
 from repro.stats import QueryOutcome, Stopwatch
@@ -154,7 +155,9 @@ class CBCS:
     # ------------------------------------------------------------------
     # Querying
     # ------------------------------------------------------------------
-    def query(self, constraints: Constraints) -> QueryOutcome:
+    def query(
+        self, constraints: Constraints, query_id: Optional[str] = None
+    ) -> QueryOutcome:
         """Answer one constrained skyline query, reusing the cache.
 
         With resilience enabled, storage faults are retried and -- once
@@ -164,16 +167,31 @@ class CBCS:
         skyline flagged ``stale``.  Degraded outcomes are always labeled
         (``QueryOutcome.degraded``); this method never lets a storage error
         escape when resilience is on.
+
+        ``query_id`` correlates everything this query produces -- trace
+        spans, plan, outcome record, metric exemplar, quarantine events --
+        under one id.  Callers (e.g. ``QueryService``) may pass their own;
+        otherwise one is minted here whenever observability is enabled.
+        With observability disabled no id is minted and the answer is
+        bit-identical to the uninstrumented path.
         """
         if constraints.ndim != self.table.ndim:
             raise ValueError("constraints dimensionality does not match the table")
         obs = self.obs
-        with obs.tracer.span("cbcs.query", strategy=self.strategy.name) as qspan:
-            if self.resilience is None:
-                outcome = self._answer(constraints, qspan)
-            else:
-                outcome = self._answer_resilient(constraints, qspan)
-        obs.record_outcome(outcome)
+        if query_id is None and obs.enabled:
+            query_id = obs.correlation.new_id()
+        profiler = obs.profiler
+        sample = (
+            profiler.maybe(query_id) if profiler is not None else nullcontext(False)
+        )
+        with bind(query_id), sample:
+            with obs.tracer.span("cbcs.query", strategy=self.strategy.name) as qspan:
+                if self.resilience is None:
+                    outcome = self._answer(constraints, qspan)
+                else:
+                    outcome = self._answer_resilient(constraints, qspan)
+            outcome.query_id = query_id
+            obs.record_outcome(outcome)
         return outcome
 
     def _answer_resilient(self, constraints: Constraints, qspan) -> QueryOutcome:
@@ -211,7 +229,7 @@ class CBCS:
     ) -> QueryOutcome:
         """The query body, run inside the ``cbcs.query`` span."""
         obs = self.obs
-        watch = Stopwatch(tracer=obs.tracer)
+        watch = Stopwatch(tracer=obs.tracer, profiler=obs.profiler)
         io_before = self.table.stats.snapshot()
         verify = self.resilience is not None and self.resilience.verify_cache
 
@@ -241,8 +259,9 @@ class CBCS:
                     region_override=region_override,
                 )
                 cspan.set(case=planned.case, item_id=item.item_id)
+                planned.plan.query_id = current_query_id()
             if planned.case == CASE_EXACT:
-                self.cache.touch(item)
+                self.cache.touch(item, case=CASE_EXACT)
                 qspan.set(case=CASE_EXACT, cache_hit=True)
                 return QueryOutcome(
                     skyline=item.skyline.copy(),
@@ -281,7 +300,7 @@ class CBCS:
                         skyline=len(skyline),
                     )
 
-        self.cache.touch(item)
+        self.cache.touch(item, case=planned.case)
         if self.cache_results:
             inserted = self.cache.insert(constraints, skyline)
             if (
@@ -401,7 +420,7 @@ class CBCS:
 
         rung_state = self.resilience.new_state()
         try:
-            watch = Stopwatch(tracer=obs.tracer)
+            watch = Stopwatch(tracer=obs.tracer, profiler=obs.profiler)
             io_before = self.table.stats.snapshot()
             outcome = self._query_miss(constraints, watch, io_before, rung_state)
             outcome.degraded = RUNG_BOUNDING

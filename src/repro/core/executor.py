@@ -31,7 +31,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.geometry.box import Box
-from repro.obs import NULL_OBS
+from repro.obs import NULL_OBS, bind, current_query_id
 from repro.storage.table import RangeResult
 
 
@@ -135,10 +135,16 @@ class Executor:
         self, backend, boxes: List[Box], retry_state
     ) -> List[RangeResult]:
         pool = self._ensure_pool()
-        futures = [
-            pool.submit(self._range_query, backend, box, retry_state)
-            for box in boxes
-        ]
+        # contextvars do not flow into pool threads on their own: re-bind
+        # the caller's query id in each lane so worker-side spans (range
+        # queries, retries, backend errors) stay joinable with the query.
+        query_id = current_query_id()
+
+        def lane(box: Box) -> RangeResult:
+            with bind(query_id):
+                return self._range_query(backend, box, retry_state)
+
+        futures = [pool.submit(lane, box) for box in boxes]
         parts: List[RangeResult] = []
         first_error: Optional[BaseException] = None
         for future in futures:  # gather in box order, not completion order

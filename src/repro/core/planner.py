@@ -51,6 +51,9 @@ class QueryPlan:
     range_queries: int
     estimated_points: int
     boxes: List[Box] = field(default_factory=list)
+    #: correlation id of the query this plan was produced for; stamped by
+    #: the engine during execution (``explain`` plans keep the default None)
+    query_id: Optional[str] = None
 
     def to_dict(self) -> dict:
         """JSON-serializable rendering of the plan.
@@ -59,7 +62,7 @@ class QueryPlan:
         through strict JSON; used by the plan-accuracy audit
         (:mod:`repro.obs.audit`) and the bench ``--json`` dump.
         """
-        return {
+        record = {
             "case": self.case,
             "cache_hit": self.cache_hit,
             "stable": self.stable,
@@ -70,6 +73,9 @@ class QueryPlan:
             "estimated_points": self.estimated_points,
             "boxes": [box.to_dict() for box in self.boxes],
         }
+        if self.query_id is not None:
+            record["query_id"] = self.query_id
+        return record
 
     def summary(self) -> str:
         """One-line human-readable rendering."""

@@ -37,6 +37,11 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+from repro.obs.correlate import (  # noqa: F401  (re-exported)
+    QueryCorrelation,
+    bind,
+    current_query_id,
+)
 from repro.obs.metrics import (  # noqa: F401  (re-exported)
     NULL_METRICS,
     HistogramData,
@@ -61,6 +66,9 @@ __all__ = [
     "NULL_TRACER",
     "Span",
     "HistogramData",
+    "QueryCorrelation",
+    "bind",
+    "current_query_id",
     "current",
     "activate",
 ]
@@ -79,6 +87,17 @@ class Observability:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
         self.outcome_sinks: list = []
+        #: Mints per-query correlation ids at the serving ingress; every
+        #: span, outcome record, and quarantine event of one query carries
+        #: the same id (see :mod:`repro.obs.correlate`).
+        self.correlation = QueryCorrelation()
+        #: Optional :class:`repro.obs.profiling.QueryProfiler`; when set,
+        #: the engine routes sampled queries' stages through it.
+        self.profiler = None
+        #: The most recently built engine's :class:`SkylineCache` (set by
+        #: ``repro.bench.harness.make_cbcs``); lets the bench CLI write
+        #: ``cache.json`` introspection without threading the engine out.
+        self.last_cache = None
 
     def add_outcome_sink(self, sink) -> "Observability":
         """Register a per-query structured-log sink.
@@ -137,7 +156,15 @@ class Observability:
         # Aggregate disk work (not a stage: it overlaps fetch_io under a
         # parallel executor, so it must not enter the stage_ms breakdown).
         m.observe("query_io_ms_total", t.io_ms_total, method=method)
-        m.observe("query_total_ms", t.total_ms, method=method)
+        # The query id rides as an exemplar (a concrete query to pull up in
+        # the trace), never as a label: per-query labels would explode
+        # series cardinality.
+        m.observe(
+            "query_total_ms",
+            t.total_ms,
+            exemplar=getattr(outcome, "query_id", None),
+            method=method,
+        )
         m.observe("skyline_size", outcome.skyline_size, method=method)
         if self.outcome_sinks:
             record = outcome.as_record()

@@ -43,7 +43,7 @@ class HistogramData:
     statistics stay exact while percentiles come from the retained prefix.
     """
 
-    __slots__ = ("count", "sum", "min", "max", "_values", "_max_samples")
+    __slots__ = ("count", "sum", "min", "max", "_values", "_max_samples", "exemplar")
 
     def __init__(self, max_samples: int = 65536):
         self.count = 0
@@ -52,8 +52,11 @@ class HistogramData:
         self.max = float("-inf")
         self._values: List[float] = []
         self._max_samples = max_samples
+        #: Last ``(query_id, value)`` observed with an exemplar: a concrete
+        #: query to pull up in the trace when this series looks wrong.
+        self.exemplar: Optional[Tuple[str, float]] = None
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         value = float(value)
         self.count += 1
         self.sum += value
@@ -63,6 +66,8 @@ class HistogramData:
             self.max = value
         if len(self._values) < self._max_samples:
             self._values.append(value)
+        if exemplar is not None:
+            self.exemplar = (exemplar, value)
 
     @property
     def mean(self) -> float:
@@ -79,7 +84,7 @@ class HistogramData:
     def summary(self) -> Dict[str, float]:
         if not self.count:
             return {"count": 0}
-        return {
+        summary = {
             "count": self.count,
             "sum": self.sum,
             "min": self.min,
@@ -88,6 +93,12 @@ class HistogramData:
             "p50": self.percentile(50),
             "p95": self.percentile(95),
         }
+        if self.exemplar is not None:
+            summary["exemplar"] = {
+                "query_id": self.exemplar[0],
+                "value": self.exemplar[1],
+            }
+        return summary
 
     def merge(self, other: "HistogramData") -> None:
         """Fold another histogram's observations into this one.
@@ -103,6 +114,8 @@ class HistogramData:
         room = self._max_samples - len(self._values)
         if room > 0:
             self._values.extend(other._values[:room])
+        if other.exemplar is not None:
+            self.exemplar = other.exemplar
 
 
 class MetricsRegistry:
@@ -133,15 +146,22 @@ class MetricsRegistry:
         with self._lock:
             self._gauges[(name, _label_key(labels))] = float(value)
 
-    def observe(self, name: str, value: float, **labels) -> None:
-        """Record one observation into the histogram ``name``."""
+    def observe(
+        self, name: str, value: float, exemplar: Optional[str] = None, **labels
+    ) -> None:
+        """Record one observation into the histogram ``name``.
+
+        ``exemplar`` optionally attaches a query id to the series (kept as
+        the last-observed exemplar, never as a label -- per-query labels
+        would explode series cardinality).
+        """
         key = (name, _label_key(labels))
         with self._lock:
             hist = self._histograms.get(key)
             if hist is None:
                 hist = HistogramData(self._max_histogram_samples)
                 self._histograms[key] = hist
-            hist.observe(value)
+            hist.observe(value, exemplar=exemplar)
 
     def reset(self) -> None:
         """Drop every recorded series (e.g. between benchmark figures)."""
@@ -243,7 +263,9 @@ class NullMetrics(MetricsRegistry):
     def set_gauge(self, name: str, value: float, **labels) -> None:
         pass
 
-    def observe(self, name: str, value: float, **labels) -> None:
+    def observe(
+        self, name: str, value: float, exemplar: Optional[str] = None, **labels
+    ) -> None:
         pass
 
 

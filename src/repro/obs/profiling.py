@@ -1,0 +1,223 @@
+"""Sampled per-query, per-stage CPU profiling for the serving path.
+
+The upcoming vectorization work needs *attributable* CPU evidence: not
+"the bench got slower" but "``sfs_skyline`` burns 40% of the skyline
+stage".  :class:`QueryProfiler` produces it with the stdlib ``cProfile``:
+
+- **sampled**: every ``sample_every``-th query is profiled (one at a time
+  -- concurrent service workers skip sampling rather than corrupt the
+  profile), so the harness can stay on in long runs;
+- **per-stage**: each :class:`~repro.stats.Stopwatch` stage of a sampled
+  query (``processing``, ``fetch_wall``, ``skyline``) accumulates into its
+  own ``cProfile.Profile``, so stage wall-clock from the trace and stage
+  CPU from the profile line up;
+- **two export formats**: a standard ``pstats`` dump (``profile.pstats``,
+  loadable with ``pstats.Stats`` / snakeviz) and a collapsed-stack file
+  (``profile.collapsed``, one ``frame;frame;frame count`` line per leaf,
+  microsecond counts) ready for ``flamegraph.pl`` or speedscope.
+
+Enable it through the bench CLI (``python -m repro.bench --profile DIR``)
+or directly::
+
+    obs = Observability()
+    obs.profiler = QueryProfiler(sample_every=4)
+    engine = CBCS(table, obs=obs)
+    ...
+    obs.profiler.save(out_dir)
+
+When no profiler is attached (the default), the engine's only cost is one
+attribute read per query.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["QueryProfiler", "collapse_stats"]
+
+
+def _frame_name(func) -> str:
+    """``file:function`` rendering of a pstats function key."""
+    filename, lineno, name = func
+    if filename.startswith("<"):  # builtins: ('~', 0, "<method ...>")
+        return name
+    return f"{Path(filename).name}:{name}"
+
+
+def collapse_stats(stats: pstats.Stats, root: str = "", max_depth: int = 64) -> List[str]:
+    """Render a ``pstats.Stats`` as collapsed (folded) stack lines.
+
+    cProfile keeps a caller *graph*, not full stacks, so each function's
+    own-time (``tt``) is attributed to one representative stack: the chain
+    of heaviest-cumulative callers up to a root.  That loses minority call
+    paths but preserves the flamegraph's defining property -- the width of
+    every frame equals the function's measured own-time (microseconds).
+    """
+    entries = stats.stats  # type: ignore[attr-defined]
+    lines: List[str] = []
+    for func, (cc, nc, tt, ct, callers) in sorted(entries.items()):
+        useconds = int(round(tt * 1_000_000))
+        if useconds <= 0:
+            continue
+        stack = [func]
+        seen = {func}
+        node = func
+        for _ in range(max_depth):
+            node_callers = entries.get(node, (0, 0, 0.0, 0.0, {}))[4]
+            candidates = [c for c in node_callers if c not in seen]
+            if not candidates:
+                break
+            node = max(candidates, key=lambda c: node_callers[c][3])
+            stack.append(node)
+            seen.add(node)
+        frames = [_frame_name(f) for f in reversed(stack)]
+        if root:
+            frames.insert(0, root)
+        lines.append(f"{';'.join(frames)} {useconds}")
+    return lines
+
+
+class QueryProfiler:
+    """Sampled per-stage cProfile harness attached to an Observability.
+
+    Thread model: only one query is profiled at any moment (``maybe``
+    try-acquires a lock and skips sampling when another worker holds it);
+    the per-stage :class:`cProfile.Profile` objects accumulate across every
+    sampled query, so the final stats describe the *sampled population*,
+    not a single query.
+    """
+
+    def __init__(self, sample_every: int = 1):
+        if sample_every < 1:
+            raise ValueError("sample_every must be at least 1")
+        self.sample_every = int(sample_every)
+        self.seen = 0
+        self.sampled = 0
+        self.sampled_query_ids: List[str] = []
+        self._profiles: Dict[str, cProfile.Profile] = {}
+        self._counter_lock = threading.Lock()
+        self._busy = threading.Lock()  # one profiled query at a time
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _should_sample(self) -> bool:
+        with self._counter_lock:
+            self.seen += 1
+            return (self.seen - 1) % self.sample_every == 0
+
+    def is_active(self) -> bool:
+        """True while the *current thread* is inside a sampled query."""
+        return getattr(self._local, "active", False)
+
+    @contextmanager
+    def maybe(self, query_id: Optional[str] = None) -> Iterator[bool]:
+        """Mark the enclosed query as sampled (or not); yields the verdict.
+
+        While active, the :class:`~repro.stats.Stopwatch` stages running on
+        this thread route through :meth:`stage`.
+        """
+        if not self._should_sample() or not self._busy.acquire(blocking=False):
+            yield False
+            return
+        self._local.active = True
+        try:
+            yield True
+        finally:
+            self._local.active = False
+            with self._counter_lock:
+                self.sampled += 1
+                if query_id is not None:
+                    self.sampled_query_ids.append(query_id)
+            self._busy.release()
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Profile one stage block into the stage's accumulating profile."""
+        with self._counter_lock:
+            profile = self._profiles.get(name)
+            if profile is None:
+                profile = self._profiles[name] = cProfile.Profile()
+        profile.enable()
+        try:
+            yield
+        finally:
+            profile.disable()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def stats(self) -> Optional[pstats.Stats]:
+        """Combined ``pstats.Stats`` over every stage (None if unsampled)."""
+        profiles = [p for p in self._profiles.values() if p.getstats()]
+        if not profiles:
+            return None
+        combined = pstats.Stats(profiles[0])
+        for profile in profiles[1:]:
+            combined.add(profile)
+        return combined
+
+    def collapsed_lines(self) -> List[str]:
+        """Per-stage collapsed stacks, each stack rooted at its stage name."""
+        lines: List[str] = []
+        for name in sorted(self._profiles):
+            profile = self._profiles[name]
+            if not profile.getstats():
+                continue
+            lines.extend(collapse_stats(pstats.Stats(profile), root=f"stage.{name}"))
+        return lines
+
+    def save(self, directory) -> Dict[str, str]:
+        """Write ``profile.pstats`` + ``profile.collapsed`` into a directory.
+
+        Returns the written paths keyed by format.  Both files are written
+        even when nothing was sampled (empty profile, zero lines), so a
+        ``--profile`` run always produces its artifacts.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        pstats_path = directory / "profile.pstats"
+        stats = self.stats()
+        if stats is None:
+            empty = cProfile.Profile()
+            empty.enable()
+            empty.disable()
+            stats = pstats.Stats(empty)
+        stats.dump_stats(str(pstats_path))
+        collapsed_path = directory / "profile.collapsed"
+        lines = self.collapsed_lines()
+        collapsed_path.write_text("\n".join(lines) + "\n" if lines else "")
+        return {"pstats": str(pstats_path), "collapsed": str(collapsed_path)}
+
+    def render_summary(self, top: int = 8) -> str:
+        """Text summary: sampled count plus the hottest functions."""
+        stats = self.stats()
+        header = (
+            f"# profile (sampled {self.sampled} of {self.seen} queries, "
+            f"every {self.sample_every})"
+        )
+        if stats is None:
+            return header + "\nno samples collected"
+        rows = sorted(
+            stats.stats.items(),  # type: ignore[attr-defined]
+            key=lambda kv: kv[1][2],
+            reverse=True,
+        )[:top]
+        lines = [header, f"{'own ms':>10}  {'cum ms':>10}  {'calls':>8}  function"]
+        for func, (cc, nc, tt, ct, _callers) in rows:
+            lines.append(
+                f"{tt * 1000:10.2f}  {ct * 1000:10.2f}  {nc:8d}  {_frame_name(func)}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryProfiler(sample_every={self.sample_every}, "
+            f"sampled={self.sampled}/{self.seen})"
+        )

@@ -5,9 +5,16 @@ Renders the registry populated by an instrumented run -- or a saved
 queries per method, cache hit rate per strategy, the stable/unstable and
 case a-d breakdowns, I/O totals, and p50/p95 stage latencies.
 
+Pointed at a whole ``--obs`` output *directory*, it renders every artifact
+it finds -- ``metrics.json``, the ``health.jsonl`` flight recorder,
+``cache.json`` introspection, ``trace.jsonl``, ``profile.collapsed`` --
+and warns (instead of failing) about the ones a partial or interrupted run
+did not produce.
+
 Usage::
 
     python -m repro.obs.report out/metrics.json
+    python -m repro.obs.report out/            # whole obs directory
     python -m repro.bench --obs out --obs-report fig5a
 """
 
@@ -15,6 +22,7 @@ from __future__ import annotations
 
 import json
 import sys
+from pathlib import Path
 from typing import Dict, List, Tuple
 
 from repro.bench.reporting import format_table
@@ -303,12 +311,140 @@ def render_report(metrics) -> str:
     return "\n\n".join(sections)
 
 
+def _read_jsonl(path: Path) -> List[dict]:
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def render_health_section(records: List[dict]) -> str:
+    """Render the last flight-recorder snapshot plus the verdict history."""
+    if not records:
+        return "# health\n(no snapshots recorded)"
+    last = records[-1]
+    window = last.get("window") or {}
+    statuses: Dict[str, int] = {}
+    for rec in records:
+        status = str(rec.get("status", "?"))
+        statuses[status] = statuses.get(status, 0) + 1
+    history = ", ".join(f"{k}: {v}" for k, v in sorted(statuses.items()))
+    lines = [
+        "# health",
+        f"last status: {last.get('status', '?')}"
+        + (f" ({'; '.join(last['reasons'])})" if last.get("reasons") else ""),
+        f"snapshots: {len(records)} ({history})",
+        f"window: qps={window.get('qps', '-')} p50={window.get('p50_ms', '-')}ms "
+        f"p95={window.get('p95_ms', '-')}ms p99={window.get('p99_ms', '-')}ms "
+        f"hit={window.get('cache_hit_ratio', '-')} "
+        f"degraded={window.get('degraded_rate', '-')} "
+        f"errors={window.get('errors', '-')}",
+    ]
+    return "\n".join(lines)
+
+
+def render_obs_dir(directory) -> Tuple[str, List[str], int]:
+    """Render every artifact in an ``--obs`` directory.
+
+    Returns ``(text, warnings, rendered_count)``.  Missing or unreadable
+    artifacts produce warnings, never exceptions: a partial directory (an
+    interrupted run, a run without ``--trace`` or ``--profile``) still
+    yields a report from whatever is there.
+    """
+    directory = Path(directory)
+    sections: List[str] = []
+    warnings: List[str] = []
+
+    def missing(name: str, why: str = "missing") -> None:
+        warnings.append(f"warning: {directory / name}: {why}")
+
+    metrics_path = directory / "metrics.json"
+    if metrics_path.is_file():
+        try:
+            sections.append(render_report(metrics_path))
+        except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+            missing("metrics.json", f"unreadable ({exc})")
+    else:
+        missing("metrics.json")
+
+    health_path = directory / "health.jsonl"
+    if health_path.is_file():
+        try:
+            sections.append(render_health_section(_read_jsonl(health_path)))
+        except (OSError, json.JSONDecodeError) as exc:
+            missing("health.jsonl", f"unreadable ({exc})")
+
+    cache_path = directory / "cache.json"
+    if cache_path.is_file():
+        try:
+            from repro.obs.cacheview import render_cacheview
+
+            with open(cache_path) as handle:
+                sections.append(render_cacheview(json.load(handle)))
+        except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+            missing("cache.json", f"unreadable ({exc})")
+
+    trace_path = directory / "trace.jsonl"
+    if trace_path.is_file():
+        try:
+            spans = _read_jsonl(trace_path)
+            names: Dict[str, int] = {}
+            correlated = 0
+            for span in spans:
+                names[str(span.get("name", "?"))] = (
+                    names.get(str(span.get("name", "?")), 0) + 1
+                )
+                if (span.get("attrs") or {}).get("query_id"):
+                    correlated += 1
+            top = ", ".join(
+                f"{n}: {c}"
+                for n, c in sorted(names.items(), key=lambda kv: -kv[1])[:6]
+            )
+            sections.append(
+                "# trace\n"
+                f"spans: {len(spans)} ({correlated} carrying a query_id)\n"
+                f"top names: {top or '-'}"
+            )
+        except (OSError, json.JSONDecodeError) as exc:
+            missing("trace.jsonl", f"unreadable ({exc})")
+    else:
+        missing("trace.jsonl")
+
+    if not (directory / "metrics.prom").is_file():
+        missing("metrics.prom")
+
+    collapsed = directory / "profile.collapsed"
+    if collapsed.is_file():
+        try:
+            lines = [
+                ln for ln in collapsed.read_text().splitlines() if ln.strip()
+            ]
+            sections.append(f"# profile\ncollapsed stacks: {len(lines)} frames")
+        except OSError as exc:
+            missing("profile.collapsed", f"unreadable ({exc})")
+
+    return "\n\n".join(sections), warnings, len(sections)
+
+
 def main(argv=None) -> int:
-    """CLI: ``python -m repro.obs.report metrics.json``."""
+    """CLI: ``python -m repro.obs.report METRICS_JSON_OR_OBS_DIR``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if len(argv) != 1:
-        print("usage: python -m repro.obs.report METRICS_JSON")
+        print("usage: python -m repro.obs.report METRICS_JSON_OR_OBS_DIR")
         return 2
+    target = Path(argv[0])
+    if target.is_dir():
+        text, warnings, rendered = render_obs_dir(target)
+        for warning in warnings:
+            print(warning, file=sys.stderr)
+        if rendered == 0:
+            print(f"no readable observability artifacts in {target}")
+            return 2
+        print(text)
+        return 0
     try:
         report = render_report(argv[0])
     except (OSError, json.JSONDecodeError) as exc:

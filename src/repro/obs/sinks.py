@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import logging
+import threading
 from collections import deque
 from typing import Dict, List, Optional
 
@@ -55,29 +56,40 @@ class JsonlSink:
     clean ``close()``.  The sink is also a context manager; re-emitting
     after ``close()`` reopens the file in append mode rather than
     truncating what was already written.
+
+    Safe for concurrent writers: each record is serialized *outside* the
+    lock, then written to the handle as one string under it, so lines from
+    different threads (service workers, parallel executor lanes) can never
+    interleave mid-record.  ``close()`` always releases the handle, even
+    when the final flush raises (a full disk must not leak the file
+    descriptor or wedge later reopens).
     """
 
     def __init__(self, path):
         self.path = path
         self._handle = None
         self.emitted = 0
+        self._lock = threading.Lock()
 
     def emit(self, record: Dict[str, object]) -> None:
-        if self._handle is None:
-            self._handle = open(self.path, "a" if self.emitted else "w")
-        json.dump(record, self._handle, default=_jsonable)
-        self._handle.write("\n")
-        self._handle.flush()
-        self.emitted += 1
+        line = json.dumps(record, default=_jsonable) + "\n"
+        with self._lock:
+            if self._handle is None:
+                self._handle = open(self.path, "a" if self.emitted else "w")
+            self._handle.write(line)
+            self._handle.flush()
+            self.emitted += 1
 
     def flush(self) -> None:
-        if self._handle is not None:
-            self._handle.flush()
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            handle, self._handle = self._handle, None
+        if handle is not None:
+            handle.close()
 
     def __enter__(self) -> "JsonlSink":
         return self

@@ -29,6 +29,8 @@ import threading
 import time
 from typing import Dict, List, Optional
 
+from repro.obs.correlate import current_query_id
+
 
 class Span:
     """One timed, named node of a trace tree."""
@@ -132,8 +134,17 @@ class Tracer:
     # Span creation
     # ------------------------------------------------------------------
     def span(self, name: str, **attrs) -> _ActiveSpan:
-        """Open a self-timing span; use as ``with tracer.span(...) as s:``."""
+        """Open a self-timing span; use as ``with tracer.span(...) as s:``.
+
+        Spans opened inside a :func:`repro.obs.correlate.bind` context are
+        stamped with the bound ``query_id``, so every span of one query is
+        joinable across threads (worker-thread spans are roots in their
+        thread, but they carry the same id).
+        """
         t0 = time.perf_counter()
+        query_id = current_query_id()
+        if query_id is not None:
+            attrs["query_id"] = query_id
         parent = self._stack[-1] if self._stack else None
         span = Span(
             name=name,
@@ -150,6 +161,9 @@ class Tracer:
         """Attach an externally timed, already-finished span as a child of
         the current span.  The given duration is stored verbatim."""
         now_ms = (time.perf_counter() - self._epoch) * 1000.0
+        query_id = current_query_id()
+        if query_id is not None:
+            attrs["query_id"] = query_id
         parent = self._stack[-1] if self._stack else None
         span = Span(
             name=name,

@@ -14,19 +14,33 @@ table's global counters and may therefore include a concurrent neighbour's
 reads; the aggregate counters remain exact.  Single-query runs are
 unaffected.
 
+Live observability: the service maintains a
+:class:`~repro.obs.window.RollingWindow` of recent outcomes and a
+:class:`~repro.obs.health.HealthMonitor` judging it against an
+:class:`~repro.obs.health.SLOSpec`, so :meth:`QueryService.health` answers
+"is the service meeting its objectives right now, and why not?" at any
+moment.  When the engine's observability is enabled, every request is also
+assigned a ``query_id`` at ingress, correlating its trace spans, outcome
+record, and metric exemplars end-to-end.
+
 Example::
 
     with QueryService(engine, workers=4) as svc:
         report = svc.run(queries)
+        print(svc.health().summary())
     print(report.per_worker)   # {'cbcs-svc_0': 13, 'cbcs-svc_1': 12, ...}
 """
 
 from __future__ import annotations
 
+import inspect
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+from repro.obs.health import HealthMonitor, HealthReport, SLOSpec
+from repro.obs.window import RollingWindow
 
 __all__ = ["QueryService", "ServiceReport"]
 
@@ -68,7 +82,16 @@ class QueryService:
     lazily and shut down by :meth:`close` / the context manager.
     """
 
-    def __init__(self, engine, workers: int = 4):
+    def __init__(
+        self,
+        engine,
+        workers: int = 4,
+        slo: Optional[SLOSpec] = None,
+        window_s: float = 60.0,
+    ):
+        """``slo`` tunes the health verdict (defaults to
+        :class:`~repro.obs.health.SLOSpec`'s budgets); ``window_s`` sizes
+        the rolling window :meth:`health` judges."""
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.engine = engine
@@ -76,6 +99,25 @@ class QueryService:
         self._pool: Optional[ThreadPoolExecutor] = None
         self._lock = threading.Lock()
         self._per_worker: Dict[str, int] = {}
+        # Engines other than CBCS (Baseline, BBS) have no query_id kwarg,
+        # no resilience, and no cache; probe once instead of per request.
+        self._accepts_query_id = (
+            "query_id" in inspect.signature(engine.query).parameters
+        )
+        obs = getattr(engine, "obs", None)
+        self._obs = obs if obs is not None and obs.enabled else None
+        resilience = getattr(engine, "resilience", None)
+        cache = getattr(engine, "cache", None)
+        self.window = RollingWindow(window_s=window_s)
+        self.monitor = HealthMonitor(
+            self.window,
+            slo=slo,
+            breaker=getattr(resilience, "breaker", None),
+            quarantined=(
+                (lambda: cache.quarantined) if cache is not None else None
+            ),
+            metrics=self._obs.metrics if self._obs is not None else None,
+        )
 
     # ------------------------------------------------------------------
     # Serving
@@ -108,11 +150,30 @@ class QueryService:
         return report
 
     def _answer(self, constraints):
-        outcome = self.engine.query(constraints)
+        try:
+            if self._obs is not None and self._accepts_query_id:
+                outcome = self.engine.query(
+                    constraints, query_id=self._obs.correlation.new_id()
+                )
+            else:
+                outcome = self.engine.query(constraints)
+        except Exception:
+            self.window.record_error()
+            raise
+        self.window.record(
+            total_ms=outcome.total_ms,
+            cache_hit=outcome.cache_hit,
+            degraded=outcome.degraded,
+            stale=outcome.stale,
+        )
         worker = threading.current_thread().name
         with self._lock:
             self._per_worker[worker] = self._per_worker.get(worker, 0) + 1
         return outcome
+
+    def health(self) -> HealthReport:
+        """Judge the current rolling window against the configured SLO."""
+        return self.monitor.report()
 
     @property
     def per_worker(self) -> Dict[str, int]:

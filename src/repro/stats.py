@@ -84,6 +84,10 @@ class QueryOutcome:
     stale: bool = False
     #: storage retries consumed while answering (0 on a clean path)
     retries: int = 0
+    #: correlation id minted at the serving ingress (None when observability
+    #: is disabled); the same id is stamped on every trace span and metric
+    #: exemplar of this query -- see :mod:`repro.obs.correlate`
+    query_id: Optional[str] = None
 
     @property
     def skyline_size(self) -> int:
@@ -114,6 +118,7 @@ class QueryOutcome:
         aggregator.
         """
         return {
+            "query_id": self.query_id,
             "method": self.method,
             "case": self.case,
             "stable": self.stable,
@@ -151,9 +156,13 @@ class Stopwatch:
     :data:`~repro.obs.tracing.NULL_TRACER` the span recording is a no-op.
     """
 
-    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+    def __init__(self, tracer: Optional[Tracer] = None, profiler=None) -> None:
         self.timings = StageTimings()
         self.tracer = NULL_TRACER if tracer is None else tracer
+        #: Optional :class:`repro.obs.profiling.QueryProfiler`; when the
+        #: current thread is inside a sampled query, each stage body also
+        #: runs under that stage's accumulating cProfile.
+        self.profiler = profiler
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -163,9 +172,15 @@ class Stopwatch:
                 f"unknown stage {name!r}; expected one of {sorted(STAGE_NAMES)}"
             )
         attr = f"{name}_ms"
+        profiler = self.profiler
+        profiled = profiler is not None and profiler.is_active()
         start = time.perf_counter()
         try:
-            yield
+            if profiled:
+                with profiler.stage(name):
+                    yield
+            else:
+                yield
         finally:
             elapsed_ms = (time.perf_counter() - start) * 1000.0
             setattr(self.timings, attr, getattr(self.timings, attr) + elapsed_ms)

@@ -168,6 +168,9 @@ class InstrumentedBackend(BackendDecorator):
                 result = self.inner.range_query(box)
         except Exception as exc:
             m.inc("backend_range_queries_total", outcome=type(exc).__name__)
+            # Zero-duration event span: joins the failure to the query via
+            # the bound query_id (stamped by the tracer) for correlation.
+            self.obs.tracer.record("backend.error", 0.0, error=type(exc).__name__)
             raise
         m.inc("backend_range_queries_total", outcome="ok")
         return result

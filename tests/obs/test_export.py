@@ -3,6 +3,7 @@
 import json
 
 import numpy as np
+import pytest
 
 from repro.obs import Observability
 from repro.obs.export import main, render_openmetrics, save_openmetrics
@@ -44,6 +45,43 @@ class TestRenderOpenMetrics:
         reg.inc("weird_total", method='a"b\\c\nd')
         text = render_openmetrics(reg)
         assert 'method="a\\"b\\\\c\\nd"' in text
+
+    @pytest.mark.parametrize(
+        "raw, escaped",
+        [
+            ('say "hi"', 'say \\"hi\\"'),
+            ("back\\slash", "back\\\\slash"),
+            ("line\nbreak", "line\\nbreak"),
+            ("\\n", "\\\\n"),  # a literal backslash-n is not a newline
+            ("plain", "plain"),
+        ],
+    )
+    def test_label_value_escaping_cases(self, raw, escaped):
+        reg = MetricsRegistry()
+        reg.inc("edge_total", method=raw)
+        assert f'method="{escaped}"' in render_openmetrics(reg)
+
+    def test_escaping_applies_to_gauges_and_summaries_too(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 1.0, label='v"1\n')
+        reg.observe("h_ms", 2.0, stage="a\\b")
+        text = render_openmetrics(reg)
+        assert 'label="v\\"1\\n"' in text
+        assert 'stage="a\\\\b"' in text
+        # every rendered sample line must stay single-line: name{...} value
+        body = [ln for ln in text.splitlines() if ln and not ln.startswith("#")]
+        for line in body:
+            assert line.startswith("repro_")
+            assert "\n" not in line
+
+    def test_escaped_output_has_one_line_per_sample(self):
+        reg = MetricsRegistry()
+        reg.inc("multi_total", method="x\ny\nz")
+        text = render_openmetrics(reg)
+        sample_lines = [
+            ln for ln in text.splitlines() if ln.startswith("repro_multi")
+        ]
+        assert len(sample_lines) == 1
 
     def test_name_sanitization(self):
         reg = MetricsRegistry()

@@ -1,0 +1,170 @@
+"""Tests for SLO specs and the rolling-window health classifier."""
+
+import pytest
+
+from repro.obs.health import (
+    DEGRADED,
+    HEALTHY,
+    UNHEALTHY,
+    HealthMonitor,
+    SLOSpec,
+    render_dashboard,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.window import RollingWindow
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class FakeBreaker:
+    def __init__(self, state="closed"):
+        self.state = state
+
+
+def window_with(n=20, ms=5.0, hits=0, degraded=0, stale=0, errors=0):
+    window = RollingWindow(window_s=60.0, clock=FakeClock())
+    for i in range(n):
+        window.record(
+            total_ms=ms,
+            cache_hit=i < hits,
+            degraded="ampr" if i < degraded else None,
+            stale=i < stale,
+        )
+    for _ in range(errors):
+        window.record_error()
+    return window
+
+
+class TestSLOSpec:
+    def test_defaults_are_valid(self):
+        SLOSpec()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"p95_ms": 0.0},
+            {"p99_ms": -1.0},
+            {"min_hit_ratio": 1.5},
+            {"max_error_rate": -0.1},
+            {"max_stale_rate": 2.0},
+        ],
+    )
+    def test_rejects_out_of_range_objectives(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOSpec(**kwargs)
+
+
+class TestClassification:
+    def test_clean_window_is_healthy(self):
+        report = HealthMonitor(window_with()).report()
+        assert report.status == HEALTHY
+        assert report.healthy
+        assert report.reasons == []
+
+    def test_insufficient_data_is_healthy_with_reason(self):
+        monitor = HealthMonitor(window_with(n=3), slo=SLOSpec(min_queries=10))
+        report = monitor.report()
+        assert report.status == HEALTHY
+        assert any("insufficient data" in r for r in report.reasons)
+
+    def test_error_rate_is_unhealthy(self):
+        monitor = HealthMonitor(window_with(n=18, errors=2))
+        report = monitor.report()
+        assert report.status == UNHEALTHY
+        assert any("error rate" in r for r in report.reasons)
+
+    def test_stale_rate_is_unhealthy(self):
+        monitor = HealthMonitor(window_with(n=20, stale=2, degraded=2))
+        report = monitor.report()
+        assert report.status == UNHEALTHY
+        assert any("stale" in r for r in report.reasons)
+
+    def test_degraded_rate_is_degraded(self):
+        monitor = HealthMonitor(window_with(n=20, degraded=5))
+        report = monitor.report()
+        assert report.status == DEGRADED
+        assert any("degraded-answer rate" in r for r in report.reasons)
+
+    def test_latency_slo_violation_is_degraded(self):
+        monitor = HealthMonitor(
+            window_with(ms=100.0), slo=SLOSpec(p95_ms=10.0)
+        )
+        report = monitor.report()
+        assert report.status == DEGRADED
+        assert any("p95" in r for r in report.reasons)
+
+    def test_hit_ratio_floor_is_degraded(self):
+        monitor = HealthMonitor(
+            window_with(hits=2), slo=SLOSpec(min_hit_ratio=0.5)
+        )
+        report = monitor.report()
+        assert report.status == DEGRADED
+        assert any("hit ratio" in r for r in report.reasons)
+
+    def test_open_breaker_is_unhealthy_even_on_empty_window(self):
+        monitor = HealthMonitor(
+            window_with(n=0), breaker=FakeBreaker("open")
+        )
+        report = monitor.report()
+        assert report.status == UNHEALTHY
+        assert report.breaker_state == "open"
+
+    def test_half_open_breaker_is_degraded(self):
+        monitor = HealthMonitor(
+            window_with(), breaker=FakeBreaker("half_open")
+        )
+        assert monitor.report().status == DEGRADED
+
+    def test_hard_beats_soft(self):
+        monitor = HealthMonitor(
+            window_with(n=18, degraded=9, errors=2),
+            slo=SLOSpec(max_degraded_rate=0.05),
+        )
+        assert monitor.report().status == UNHEALTHY
+
+    def test_new_quarantines_degrade_once_then_clear(self):
+        count = {"n": 0}
+        monitor = HealthMonitor(
+            window_with(), quarantined=lambda: count["n"]
+        )
+        assert monitor.report().status == HEALTHY
+        count["n"] = 2
+        report = monitor.report()
+        assert report.status == DEGRADED
+        assert report.quarantined == 2
+        # no further quarantines: back to healthy on the next check
+        assert monitor.report().status == HEALTHY
+
+
+class TestExportAndRendering:
+    def test_health_gauge_is_exported(self):
+        metrics = MetricsRegistry()
+        HealthMonitor(window_with(), metrics=metrics).report()
+        assert metrics.gauge_value("service_health") == 0.0
+        HealthMonitor(
+            window_with(n=18, errors=2), metrics=metrics
+        ).report()
+        assert metrics.gauge_value("service_health") == 2.0
+
+    def test_as_dict_round_trips_json(self):
+        import json
+
+        report = HealthMonitor(window_with()).report()
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["status"] == HEALTHY
+        assert payload["window"]["queries"] == 20
+
+    def test_dashboard_renders_key_signals(self):
+        line = render_dashboard(HealthMonitor(window_with(hits=10)).report())
+        for token in ("qps=", "p95=", "p99=", "hit=", "status=healthy"):
+            assert token in line
+
+    def test_dashboard_on_empty_window(self):
+        line = render_dashboard(HealthMonitor(window_with(n=0)).report())
+        assert "no traffic" in line

@@ -164,6 +164,80 @@ class TestExport:
         a.merge(b)
         assert a.count == 1 and a.min == 2.0 and a.max == 2.0
 
+    def test_merge_into_empty_histogram_adopts_extremes(self):
+        a, b = HistogramData(), HistogramData()
+        b.observe(3.0)
+        b.observe(7.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.min == 3.0 and a.max == 7.0
+        assert a.percentile(50) in (3.0, 7.0)
+
+    def test_merge_two_empty_histograms_stays_empty(self):
+        a, b = HistogramData(), HistogramData()
+        a.merge(b)
+        assert a.count == 0
+        assert a.summary() == {"count": 0}
+        assert a.percentile(50) != a.percentile(50)  # still NaN
+
+    def test_merge_when_target_samples_already_full(self):
+        a, b = HistogramData(max_samples=3), HistogramData()
+        for v in (1.0, 2.0, 3.0):
+            a.observe(v)
+        for v in (100.0, 200.0):
+            b.observe(v)
+        a.merge(b)
+        # no room: samples unchanged, aggregates still exact
+        assert len(a._values) == 3
+        assert a.count == 5
+        assert a.sum == pytest.approx(306.0)
+        assert a.max == 200.0
+
+
+class TestExemplars:
+    def test_observe_without_exemplar_keeps_none(self):
+        hist = HistogramData()
+        hist.observe(1.0)
+        assert hist.exemplar is None
+        assert "exemplar" not in hist.summary()
+
+    def test_last_exemplar_wins(self):
+        hist = HistogramData()
+        hist.observe(1.0, exemplar="q00000001")
+        hist.observe(9.0)  # plain observation does not clear it
+        hist.observe(5.0, exemplar="q00000003")
+        assert hist.exemplar == ("q00000003", 5.0)
+        assert hist.summary()["exemplar"] == {
+            "query_id": "q00000003",
+            "value": 5.0,
+        }
+
+    def test_registry_observe_threads_exemplar_through(self):
+        reg = MetricsRegistry()
+        reg.observe("query_total_ms", 4.0, exemplar="q00000002", method="CBCS")
+        hist = reg.histogram("query_total_ms", method="CBCS")
+        assert hist.exemplar == ("q00000002", 4.0)
+        [rec] = reg.as_dict()["histograms"]
+        assert rec["exemplar"]["query_id"] == "q00000002"
+
+    def test_merge_prefers_the_incoming_exemplar(self):
+        a, b = HistogramData(), HistogramData()
+        a.observe(1.0, exemplar="old")
+        b.observe(2.0, exemplar="new")
+        a.merge(b)
+        assert a.exemplar == ("new", 2.0)
+
+    def test_merge_without_incoming_exemplar_keeps_mine(self):
+        a, b = HistogramData(), HistogramData()
+        a.observe(1.0, exemplar="mine")
+        b.observe(2.0)
+        a.merge(b)
+        assert a.exemplar == ("mine", 1.0)
+
+    def test_null_metrics_accepts_exemplar_kwarg(self):
+        NULL_METRICS.observe("h", 1.0, exemplar="q1")
+        assert NULL_METRICS.as_dict()["histograms"] == []
+
     def test_render_key(self):
         reg = MetricsRegistry()
         reg.inc("x_total", b="2", a="1")

@@ -1,0 +1,179 @@
+"""Tests for the sampled per-stage cProfile harness."""
+
+import marshal
+import pstats
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.cbcs import CBCS
+from repro.geometry.constraints import Constraints
+from repro.obs import Observability
+from repro.obs.profiling import QueryProfiler, collapse_stats
+from repro.storage.table import DiskTable
+
+
+def _burn(n=2000):
+    return sum(i * i for i in range(n))
+
+
+class TestSampling:
+    def test_sample_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            QueryProfiler(sample_every=0)
+
+    def test_every_query_sampled_by_default(self):
+        profiler = QueryProfiler()
+        for _ in range(5):
+            with profiler.maybe("q") as sampled:
+                assert sampled
+        assert profiler.sampled == profiler.seen == 5
+
+    def test_sampling_cadence(self):
+        profiler = QueryProfiler(sample_every=3)
+        verdicts = []
+        for _ in range(7):
+            with profiler.maybe() as sampled:
+                verdicts.append(sampled)
+        assert verdicts == [True, False, False, True, False, False, True]
+        assert profiler.sampled == 3 and profiler.seen == 7
+
+    def test_sampled_query_ids_are_recorded(self):
+        profiler = QueryProfiler(sample_every=2)
+        for qid in ("q1", "q2", "q3"):
+            with profiler.maybe(qid):
+                pass
+        assert profiler.sampled_query_ids == ["q1", "q3"]
+
+    def test_is_active_only_inside_a_sampled_query(self):
+        profiler = QueryProfiler()
+        assert not profiler.is_active()
+        with profiler.maybe("q"):
+            assert profiler.is_active()
+        assert not profiler.is_active()
+
+    def test_busy_profiler_skips_concurrent_sampling(self):
+        profiler = QueryProfiler()
+        entered = threading.Event()
+        release = threading.Event()
+        verdicts = {}
+
+        def holder():
+            with profiler.maybe("held") as sampled:
+                verdicts["holder"] = sampled
+                entered.set()
+                release.wait(5.0)
+
+        t = threading.Thread(target=holder)
+        t.start()
+        assert entered.wait(5.0)
+        with profiler.maybe("skipped") as sampled:
+            verdicts["skipped"] = sampled
+        release.set()
+        t.join()
+        assert verdicts == {"holder": True, "skipped": False}
+
+
+class TestStageProfiles:
+    def test_stage_accumulates_across_sampled_queries(self):
+        profiler = QueryProfiler()
+        for _ in range(2):
+            with profiler.maybe("q"):
+                with profiler.stage("skyline"):
+                    _burn()
+        stats = profiler.stats()
+        assert stats is not None
+        assert stats.total_calls > 0
+
+    def test_unsampled_profiler_has_no_stats(self):
+        assert QueryProfiler().stats() is None
+
+    def test_collapsed_lines_are_rooted_at_stage_names(self):
+        profiler = QueryProfiler()
+        with profiler.maybe("q"):
+            with profiler.stage("fetch_wall"):
+                _burn()
+            with profiler.stage("skyline"):
+                _burn()
+        lines = profiler.collapsed_lines()
+        assert lines
+        roots = {line.split(";", 1)[0] for line in lines}
+        assert roots <= {"stage.fetch_wall", "stage.skyline"}
+        for line in lines:
+            frames, count = line.rsplit(" ", 1)
+            assert frames and int(count) > 0
+
+
+class TestCollapseStats:
+    def test_collapsed_format_and_positive_counts(self):
+        profiler = QueryProfiler()
+        with profiler.maybe("q"):
+            with profiler.stage("s"):
+                _burn()
+        lines = collapse_stats(profiler.stats(), root="root")
+        assert lines
+        for line in lines:
+            frames, count = line.rsplit(" ", 1)
+            assert frames.startswith("root;") or frames == "root"
+            assert int(count) > 0
+            assert "\n" not in frames
+
+
+class TestSave:
+    def test_save_writes_valid_pstats_and_collapsed(self, tmp_path):
+        profiler = QueryProfiler()
+        with profiler.maybe("q"):
+            with profiler.stage("skyline"):
+                _burn(20000)
+        paths = profiler.save(tmp_path)
+        stats = pstats.Stats(paths["pstats"])  # loadable => valid marshal
+        assert stats.total_calls > 0
+        collapsed = (tmp_path / "profile.collapsed").read_text()
+        assert collapsed.strip()
+
+    def test_save_is_valid_even_when_unsampled(self, tmp_path):
+        paths = QueryProfiler(sample_every=10).save(tmp_path)
+        pstats.Stats(paths["pstats"])  # must not raise
+        with open(paths["pstats"], "rb") as handle:
+            marshal.load(handle)  # raw marshal dict, as pstats expects
+        assert (tmp_path / "profile.collapsed").read_text() == ""
+
+    def test_render_summary_header(self):
+        profiler = QueryProfiler(sample_every=2)
+        with profiler.maybe("q"):
+            with profiler.stage("s"):
+                _burn()
+        summary = profiler.render_summary()
+        assert "sampled 1 of 1 queries" in summary
+        assert "own ms" in summary
+
+    def test_render_summary_without_samples(self):
+        assert "no samples collected" in QueryProfiler().render_summary()
+
+
+class TestEngineIntegration:
+    def test_engine_routes_stages_through_attached_profiler(self):
+        obs = Observability()
+        obs.profiler = QueryProfiler(sample_every=1)
+        rng = np.random.default_rng(0)
+        engine = CBCS(DiskTable(rng.random((1000, 3)), obs=obs), obs=obs)
+        for _ in range(4):
+            engine.query(
+                Constraints(
+                    lo=rng.random(3) * 0.3, hi=0.5 + rng.random(3) * 0.5
+                )
+            )
+        assert obs.profiler.sampled == 4
+        assert len(obs.profiler.sampled_query_ids) == 4
+        lines = obs.profiler.collapsed_lines()
+        assert any(line.startswith("stage.") for line in lines)
+        engine.close()
+
+    def test_unattached_profiler_keeps_engine_unprofiled(self):
+        obs = Observability()
+        rng = np.random.default_rng(1)
+        engine = CBCS(DiskTable(rng.random((200, 3)), obs=obs), obs=obs)
+        engine.query(Constraints(lo=np.zeros(3), hi=np.full(3, 0.7)))
+        assert obs.profiler is None
+        engine.close()

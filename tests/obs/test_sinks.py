@@ -1,6 +1,9 @@
 """Tests for sink lifecycle guarantees (flush/close determinism)."""
 
 import json
+import threading
+
+import pytest
 
 from repro.obs.sinks import JsonlSink, read_jsonl
 
@@ -44,3 +47,81 @@ class TestJsonlSinkLifecycle:
 
     def test_flush_without_handle_is_safe(self, tmp_path):
         JsonlSink(tmp_path / "trace.jsonl").flush()
+
+
+class TestJsonlSinkConcurrency:
+    def test_concurrent_writers_never_interleave_lines(self, tmp_path):
+        """N threads x M records: every line must be one complete JSON
+        object and every record must land exactly once."""
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        n_threads, n_records = 8, 250
+        # long-ish payload so a torn write would be visible
+        payload = "x" * 200
+
+        def pump(worker):
+            for i in range(n_records):
+                sink.emit({"worker": worker, "seq": i, "pad": payload})
+
+        threads = [
+            threading.Thread(target=pump, args=(w,)) for w in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        sink.close()
+
+        lines = path.read_text().splitlines()
+        assert len(lines) == n_threads * n_records
+        assert sink.emitted == n_threads * n_records
+        seen = set()
+        for line in lines:
+            rec = json.loads(line)  # raises on any torn/interleaved line
+            assert rec["pad"] == payload
+            seen.add((rec["worker"], rec["seq"]))
+        assert len(seen) == n_threads * n_records
+
+    def test_concurrent_emit_and_close_is_safe(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        stop = threading.Event()
+
+        def pump():
+            while not stop.is_set():
+                sink.emit({"name": "a"})
+
+        t = threading.Thread(target=pump)
+        t.start()
+        for _ in range(20):
+            sink.close()  # racing close: emit must reopen, never crash
+        stop.set()
+        t.join()
+        sink.close()
+        for rec in read_jsonl(path):
+            assert rec == {"name": "a"}
+
+    def test_records_flushed_even_when_the_run_raises(self, tmp_path):
+        """The early-exit guarantee: whatever was emitted before an
+        exception is on disk after close(), with no partial trailing line."""
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        with pytest.raises(RuntimeError):
+            try:
+                sink.emit({"name": "before-crash"})
+                raise RuntimeError("boom")
+            finally:
+                sink.close()
+        assert read_jsonl(path) == [{"name": "before-crash"}]
+        assert sink._handle is None
+
+    def test_unserializable_record_does_not_wedge_the_sink(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        circular: dict = {}
+        circular["self"] = circular
+        with pytest.raises(ValueError):
+            sink.emit(circular)
+        sink.emit({"name": "after"})  # serialization failed outside the lock
+        sink.close()
+        assert read_jsonl(path) == [{"name": "after"}]

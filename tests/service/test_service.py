@@ -101,6 +101,66 @@ class TestErrorReporting:
         assert all(o.degraded is not None for o in report.outcomes)
 
 
+class TestObservability:
+    def test_health_is_healthy_on_a_fault_free_run(self, data):
+        engine = CBCS(DiskTable(data))
+        with QueryService(engine, workers=4) as svc:
+            svc.run(make_queries(data, n=24))
+            report = svc.health()
+        assert report.status == "healthy"
+        assert report.healthy
+        window = report.as_dict()["window"]
+        assert window["queries"] == 24
+        assert window["qps"] > 0
+        assert window["p95_ms"] == window["p95_ms"]  # not NaN
+        assert window["errors"] == 0
+
+    def test_health_turns_unhealthy_on_errors(self, data):
+        injector = FaultInjector(FaultProfile(transient_io=1.0), seed=3)
+        engine = CBCS(FaultyDiskTable(DiskTable(data), injector))
+        with QueryService(engine, workers=4) as svc:
+            svc.run(make_queries(data, n=12))
+            report = svc.health()
+        assert report.status == "unhealthy"
+        assert any("error rate" in r for r in report.reasons)
+
+    def test_every_outcome_carries_a_distinct_service_minted_id(self, data):
+        from repro.obs import Observability
+        from repro.obs.sinks import RingBufferSink
+
+        obs = Observability()
+        ring = RingBufferSink()
+        obs.tracer.add_sink(ring)
+        engine = CBCS(DiskTable(data, obs=obs), obs=obs)
+        with QueryService(engine, workers=4) as svc:
+            report = svc.run(make_queries(data, n=16))
+        assert report.answered == 16
+        ids = [o.query_id for o in report.outcomes]
+        assert all(ids)
+        assert len(set(ids)) == 16
+        # every root span joins its outcome through the same query_id
+        roots = [s for s in ring.spans if s["name"] == "cbcs.query"]
+        assert {(s["attrs"] or {}).get("query_id") for s in roots} == set(ids)
+
+    def test_engine_without_obs_mints_no_ids(self, data):
+        engine = CBCS(DiskTable(data))
+        with QueryService(engine, workers=4) as svc:
+            report = svc.run(make_queries(data, n=6))
+        assert all(o.query_id is None for o in report.outcomes)
+
+    def test_answers_identical_with_and_without_observability(self, data):
+        from repro.obs import Observability
+
+        queries = make_queries(data, n=12)
+        plain = CBCS(DiskTable(data))
+        answers_off = [plain.query(c).skyline for c in queries]
+        obs = Observability()
+        instrumented = CBCS(DiskTable(data, obs=obs), obs=obs)
+        answers_on = [instrumented.query(c).skyline for c in queries]
+        for off, on in zip(answers_off, answers_on):
+            assert np.array_equal(off, on)  # bit-identical, same order
+
+
 class TestLifecycle:
     def test_close_is_idempotent_and_pool_recreates(self, data):
         engine = CBCS(DiskTable(data))
