@@ -14,6 +14,9 @@ Usage::
     python -m repro.bench --save-bench BENCH_ci.json fig5a   # performance snapshot
     python -m repro.bench --baseline BENCH_old.json fig5a    # regression check
     python -m repro.bench --audit fig5a           # plan-accuracy calibration
+    python -m repro.bench --obs out/ --explain fig5a    # explain.jsonl provenance
+    python -m repro.bench --calibration fig5a     # predicted-vs-actual MARE
+    python -m repro.bench history benchmarks/     # snapshot trajectory report
     REPRO_BENCH_SCALE=default python -m repro.bench
 
 Scales: quick (default; seconds per figure), default (minutes), full
@@ -104,6 +107,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the plan-accuracy audit (explain-vs-execute calibration)",
     )
     parser.add_argument(
+        "--explain", action="store_true",
+        help="record per-query planner decision provenance (candidates "
+             "considered, per-box predicted vs actual cost) to "
+             "DIR/explain.jsonl; requires --obs DIR",
+    )
+    parser.add_argument(
+        "--calibration", action="store_true",
+        help="aggregate predicted-vs-actual cost-model error (MARE per "
+             "stage/case/strategy) over the run; printed at the end and, "
+             "with --obs DIR, written to DIR/calibration.json",
+    )
+    parser.add_argument(
         "--faults", metavar="PROFILE",
         help="inject storage faults into CBCS engines during figure runs "
              "(profiles: none, default, heavy); engines run with the "
@@ -127,9 +142,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "history":
+        # Subcommand: snapshot-trajectory report over BENCH_*.json files.
+        from repro.bench.history import main as history_main
+
+        return history_main(argv[1:])
     parser = build_parser()
     try:
-        opts = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
+        opts = parser.parse_args(argv)
     except SystemExit as exc:
         return exc.code if isinstance(exc.code, int) else 2
     if opts.list:
@@ -140,6 +161,9 @@ def main(argv=None) -> int:
         return 2
     if opts.workers < 1:
         print("--workers needs a positive worker count")
+        return 2
+    if opts.explain and opts.obs is None:
+        print("--explain needs --obs DIR (explain.jsonl lives there)")
         return 2
     if opts.figures:
         names = list(opts.figures)
@@ -162,8 +186,24 @@ def main(argv=None) -> int:
         or opts.audit
         or opts.watch is not None
         or opts.profile is not None
+        or opts.explain
+        or opts.calibration
     ):
         obs = _build_obs(opts.obs, query_log=opts.query_log)
+
+    ledger = None
+    if opts.explain or opts.calibration:
+        from repro.obs.calibration import CalibrationLedger
+        from repro.obs.explain import ExplainRecorder
+        from repro.obs.sinks import JsonlSink
+
+        ledger = CalibrationLedger()
+        explain_sink = None
+        if opts.explain:
+            from pathlib import Path
+
+            explain_sink = JsonlSink(Path(opts.obs) / "explain.jsonl")
+        obs.explainer = ExplainRecorder(sink=explain_sink, ledger=ledger)
 
     if opts.profile is not None:
         from repro.obs.profiling import QueryProfiler
@@ -195,11 +235,15 @@ def main(argv=None) -> int:
             report = watch_monitor.report()
             print(render_dashboard(report), file=sys.stderr)
             if health_sink is not None:
+                from repro.obs.schema import stamp
+
                 health_sink.emit(
-                    {
-                        "t_s": round(time.perf_counter() - watch_t0, 3),
-                        **report.as_dict(),
-                    }
+                    stamp(
+                        {
+                            "t_s": round(time.perf_counter() - watch_t0, 3),
+                            **report.as_dict(),
+                        }
+                    )
                 )
 
         watch_stop = threading.Event()
@@ -363,6 +407,11 @@ def main(argv=None) -> int:
                 exit_code = 1
 
     if obs is not None:
+        if obs.explainer is not None:
+            obs.explainer.close()
+        if ledger is not None:
+            # Gauges must land before metrics.json is serialized below.
+            ledger.export_gauges(obs.metrics)
         obs.close()
         if opts.obs is not None:
             from pathlib import Path
@@ -385,6 +434,15 @@ def main(argv=None) -> int:
                         CacheView(obs.last_cache).snapshot(), handle, indent=2
                     )
                 print(f"[cache introspection written to {cache_path}]")
+            if opts.explain:
+                print(
+                    f"[explain records written to {out_dir / 'explain.jsonl'}"
+                    f" ({obs.explainer.records_emitted} queries)]"
+                )
+            if ledger is not None:
+                calibration_path = out_dir / "calibration.json"
+                ledger.save_json(calibration_path)
+                print(f"[calibration written to {calibration_path}]")
         if opts.profile is not None:
             paths = obs.profiler.save(opts.profile)
             print(f"[profile written to {paths['pstats']} / {paths['collapsed']}]")
@@ -393,6 +451,12 @@ def main(argv=None) -> int:
             print()
         if opts.query_log is not None:
             print(f"[query log written to {opts.query_log}]")
+        if opts.calibration:
+            from repro.obs.calibration import render_calibration
+
+            print()
+            print(render_calibration(ledger.summary()))
+            print()
         if opts.obs_report:
             from repro.obs.report import render_report
 

@@ -1,0 +1,255 @@
+"""Bench-trajectory reporting over committed ``BENCH_*.json`` snapshots.
+
+:mod:`repro.bench.regress` answers "did *this* run regress against *that*
+baseline?".  This module answers the longitudinal question: how has each
+figure's ``total_ms`` / ``points_read`` / ``range_queries`` moved across
+the committed snapshot history?  It reads every ``BENCH_*.json`` in a
+directory (schema-validated via :func:`repro.bench.regress.load_snapshot`;
+unreadable files warn and are skipped), orders them by creation time,
+groups per (scale, figure, method), and flags run-over-run regressions and
+improvements with the same noise-aware :class:`~repro.bench.regress.Thresholds`
+the CI gate uses -- so the trajectory report and the blocking check can
+never disagree about what counts as a regression.
+
+Output is GitHub-flavoured markdown (one table per figure/method series,
+regressed cells highlighted) plus an optional machine-readable JSON dump.
+
+Usage::
+
+    python -m repro.bench.history benchmarks/
+    python -m repro.bench.history benchmarks/ --scale quick --json hist.json
+    python -m repro.bench history benchmarks/          # via the bench CLI
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.regress import (
+    _METRICS,
+    STATUS_IMPROVED,
+    STATUS_REGRESSED,
+    SnapshotError,
+    Thresholds,
+    _classify,
+    load_snapshot,
+)
+
+HISTORY_SCHEMA = "repro.bench.history"
+HISTORY_SCHEMA_VERSION = 1
+
+SeriesKey = Tuple[str, str, str]  # (scale, figure, method)
+
+
+def collect_snapshots(directory) -> Tuple[List[dict], List[str]]:
+    """Load every ``BENCH_*.json`` under ``directory``, oldest first.
+
+    Returns ``(snapshots, warnings)``; malformed or schema-incompatible
+    files become warnings, never exceptions, so one bad commit cannot
+    blank the whole trajectory.
+    """
+    snapshots: List[dict] = []
+    warnings: List[str] = []
+    for path in sorted(Path(directory).glob("BENCH_*.json")):
+        try:
+            snapshots.append(load_snapshot(path))
+        except SnapshotError as exc:
+            warnings.append(str(exc))
+    snapshots.sort(
+        key=lambda s: (str(s.get("created_at") or ""), str(s.get("run_id") or ""))
+    )
+    return snapshots, warnings
+
+
+def _metric_value(entry: dict, metric: str) -> Optional[float]:
+    if metric == "total_ms":
+        value = (entry.get("total_ms") or {}).get("mean")
+    else:
+        value = entry.get(metric)
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        return None
+    return value if value == value else None  # drop NaN
+
+
+def build_history(
+    snapshots: List[dict],
+    thresholds: Optional[Thresholds] = None,
+    scale: Optional[str] = None,
+) -> dict:
+    """Fold ordered snapshots into per-(scale, figure, method) trajectories.
+
+    Each trajectory point carries the run's identity (``run_id``,
+    ``created_at``, ``git_rev``) and metric values, plus ``regressions`` /
+    ``improvements`` lists naming the metrics that moved beyond threshold
+    relative to the *previous* point of the same series.
+    """
+    thresholds = thresholds or Thresholds()
+    series: Dict[SeriesKey, List[dict]] = {}
+    order: List[SeriesKey] = []
+    for snap in snapshots:
+        snap_scale = str(snap.get("scale"))
+        if scale is not None and snap_scale != scale:
+            continue
+        for fig_name, fig in sorted((snap.get("figures") or {}).items()):
+            methods = fig.get("methods") if isinstance(fig, dict) else None
+            if not isinstance(methods, dict):
+                continue
+            for method, entry in sorted(methods.items()):
+                if not isinstance(entry, dict):
+                    continue
+                key: SeriesKey = (snap_scale, str(fig_name), str(method))
+                if key not in series:
+                    series[key] = []
+                    order.append(key)
+                points = series[key]
+                point = {
+                    "run_id": snap.get("run_id"),
+                    "created_at": snap.get("created_at"),
+                    "git_rev": snap.get("git_rev"),
+                    "total_ms": _metric_value(entry, "total_ms"),
+                    "points_read": _metric_value(entry, "points_read"),
+                    "range_queries": _metric_value(entry, "range_queries"),
+                    "regressions": [],
+                    "improvements": [],
+                }
+                if points:
+                    prev = points[-1]
+                    for metric, (_, rel_attr, abs_attr) in _METRICS.items():
+                        b, c = prev.get(metric), point.get(metric)
+                        if b is None or c is None:
+                            continue
+                        status = _classify(
+                            b,
+                            c,
+                            getattr(thresholds, rel_attr),
+                            getattr(thresholds, abs_attr),
+                        )
+                        if status == STATUS_REGRESSED:
+                            point["regressions"].append(metric)
+                        elif status == STATUS_IMPROVED:
+                            point["improvements"].append(metric)
+                points.append(point)
+    scales: Dict[str, dict] = {}
+    for key in order:
+        snap_scale, fig_name, method = key
+        scales.setdefault(snap_scale, {}).setdefault(fig_name, {})[method] = (
+            series[key]
+        )
+    return {
+        "schema": HISTORY_SCHEMA,
+        "schema_version": HISTORY_SCHEMA_VERSION,
+        "snapshots": len(snapshots),
+        "scales": scales,
+    }
+
+
+def _fmt(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.2f}"
+
+
+def render_history(history: dict) -> str:
+    """GitHub-flavoured-markdown rendering of a :func:`build_history` dict."""
+    scales = history.get("scales") or {}
+    lines = [f"# Bench trajectory ({history.get('snapshots', 0)} snapshots)"]
+    if not scales:
+        lines.append("\n(no figure series found)")
+        return "\n".join(lines)
+    total_regressions = 0
+    for scale, figures in sorted(scales.items()):
+        for fig_name, methods in sorted(figures.items()):
+            for method, points in sorted(methods.items()):
+                lines.append(f"\n## {fig_name} / {method} (scale={scale})")
+                lines.append(
+                    "| run | created | rev | total_ms | points/q | rq/q "
+                    "| flags |"
+                )
+                lines.append("|---|---|---|---:|---:|---:|---|")
+                for point in points:
+                    flags = []
+                    for metric in point.get("regressions") or ():
+                        flags.append(f"**REGRESSED: {metric}**")
+                        total_regressions += 1
+                    for metric in point.get("improvements") or ():
+                        flags.append(f"improved: {metric}")
+                    rev = str(point.get("git_rev") or "-")[:9]
+                    lines.append(
+                        f"| {point.get('run_id') or '-'} "
+                        f"| {point.get('created_at') or '-'} "
+                        f"| {rev} "
+                        f"| {_fmt(point.get('total_ms'))} "
+                        f"| {_fmt(point.get('points_read'))} "
+                        f"| {_fmt(point.get('range_queries'))} "
+                        f"| {', '.join(flags) or '-'} |"
+                    )
+    verdict = (
+        f"{total_regressions} run-over-run regression(s) beyond threshold"
+        if total_regressions
+        else "no run-over-run regressions beyond threshold"
+    )
+    lines.append(f"\n**Trajectory verdict:** {verdict}.")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """CLI: render the snapshot-history trajectory for a directory."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.history",
+        description=(
+            "Render the per-figure performance trajectory over the "
+            "committed BENCH_*.json snapshots, flagging run-over-run "
+            "regressions with the CI thresholds."
+        ),
+    )
+    parser.add_argument(
+        "directory", metavar="SNAPSHOT_DIR", nargs="?", default="benchmarks",
+        help="directory holding BENCH_*.json snapshots (default: benchmarks)",
+    )
+    parser.add_argument(
+        "--scale", metavar="SCALE",
+        help="only include snapshots recorded at this REPRO_BENCH_SCALE",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write the trajectory as JSON"
+    )
+    parser.add_argument(
+        "--markdown", metavar="PATH",
+        help="also write the rendered markdown to a file",
+    )
+    try:
+        opts = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
+    except SystemExit as exc:
+        return exc.code if isinstance(exc.code, int) else 2
+
+    directory = Path(opts.directory)
+    if not directory.is_dir():
+        print(f"error: no such snapshot directory: {directory}")
+        return 2
+    snapshots, warnings = collect_snapshots(directory)
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if not snapshots:
+        print(f"no readable BENCH_*.json snapshots in {directory}")
+        return 2
+    history = build_history(snapshots, scale=opts.scale)
+    text = render_history(history)
+    print(text)
+    if opts.json:
+        with open(opts.json, "w") as handle:
+            json.dump(history, handle, indent=2)
+        print(f"\n[trajectory JSON written to {opts.json}]")
+    if opts.markdown:
+        with open(opts.markdown, "w") as handle:
+            handle.write(text + "\n")
+        print(f"[trajectory markdown written to {opts.markdown}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

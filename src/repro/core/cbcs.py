@@ -184,24 +184,32 @@ class CBCS:
         sample = (
             profiler.maybe(query_id) if profiler is not None else nullcontext(False)
         )
+        # Decision provenance (EXPLAIN ANALYZE): one builder per query when
+        # an ExplainRecorder is installed, one record emitted per query.
+        explainer = getattr(obs, "explainer", None)
+        xb = explainer.builder(self) if explainer is not None else None
         with bind(query_id), sample:
             with obs.tracer.span("cbcs.query", strategy=self.strategy.name) as qspan:
                 if self.resilience is None:
-                    outcome = self._answer(constraints, qspan)
+                    outcome = self._answer(constraints, qspan, xb=xb)
                 else:
-                    outcome = self._answer_resilient(constraints, qspan)
+                    outcome = self._answer_resilient(constraints, qspan, xb=xb)
             outcome.query_id = query_id
             obs.record_outcome(outcome)
+            if xb is not None:
+                explainer.record(xb.finish(outcome))
         return outcome
 
-    def _answer_resilient(self, constraints: Constraints, qspan) -> QueryOutcome:
+    def _answer_resilient(
+        self, constraints: Constraints, qspan, xb=None
+    ) -> QueryOutcome:
         """Normal plan with retries; on give-up, walk the degradation ladder."""
         state = self.resilience.new_state()
         try:
-            outcome = self._answer(constraints, qspan, retry_state=state)
+            outcome = self._answer(constraints, qspan, retry_state=state, xb=xb)
         except DEGRADABLE as cause:
             self.obs.metrics.inc("degradation_entered_total", method=self.name)
-            outcome = self._answer_degraded(constraints, qspan, state, cause)
+            outcome = self._answer_degraded(constraints, qspan, state, cause, xb=xb)
         outcome.retries = state.retries
         return outcome
 
@@ -226,6 +234,7 @@ class CBCS:
         qspan,
         retry_state=None,
         region_override=None,
+        xb=None,
     ) -> QueryOutcome:
         """The query body, run inside the ``cbcs.query`` span."""
         obs = self.obs
@@ -236,8 +245,12 @@ class CBCS:
         with watch.stage("processing"):
             with obs.tracer.span("cache.search"):
                 candidates = self.cache.candidates(constraints)
+            if xb is not None:
+                xb.begin(constraints, candidates, cache_items=len(self.cache))
             item = self.planner.select(constraints, candidates)
             while verify and item is not None and not self.cache.verify_and_heal(item):
+                if xb is not None:
+                    xb.reject(constraints, item, "failed-verification")
                 candidates = [c for c in candidates if c is not item]
                 item = self.planner.select(constraints, candidates)
         obs.metrics.inc(
@@ -248,7 +261,9 @@ class CBCS:
 
         if item is None:
             qspan.set(case=CASE_MISS, cache_hit=False)
-            return self._query_miss(constraints, watch, io_before, retry_state)
+            return self._query_miss(
+                constraints, watch, io_before, retry_state, xb=xb
+            )
 
         with watch.stage("processing"):
             with obs.tracer.span("case.classify") as cspan:
@@ -257,9 +272,12 @@ class CBCS:
                     candidates,
                     item=item,
                     region_override=region_override,
+                    explain=xb is not None,
                 )
                 cspan.set(case=planned.case, item_id=item.item_id)
                 planned.plan.query_id = current_query_id()
+            if xb is not None:
+                xb.set_plan(planned)
             if planned.case == CASE_EXACT:
                 self.cache.touch(item, case=CASE_EXACT)
                 qspan.set(case=CASE_EXACT, cache_hit=True)
@@ -277,6 +295,8 @@ class CBCS:
             fetch = self.executor.fetch(
                 self.backend, planned.plan.boxes, retry_state
             )
+        if xb is not None:
+            xb.set_fetch(fetch)
         fetched = fetch.result
 
         with watch.stage("skyline"):
@@ -332,13 +352,19 @@ class CBCS:
         execution path runs, so the plan agrees with execution by
         construction.  Performs the cache search, strategy selection and
         region computation but issues no disk fetches and leaves the cache
-        untouched (no use counters, no insertion) -- safe to call
-        repeatedly.
+        untouched (no use counters, no insertion, no
+        ``strategy_selections_total`` increments) -- safe to call
+        repeatedly, and an ``explain()`` before a ``query()`` counts the
+        pair as exactly one lookup and one selection.  The returned plan's
+        ``candidates_scored`` lists every candidate considered with its
+        score and rejection reason.
         """
         if constraints.ndim != self.table.ndim:
             raise ValueError("constraints dimensionality does not match the table")
         candidates = self.cache.candidates(constraints, record=False)
-        return self.planner.plan(constraints, candidates).plan
+        return self.planner.plan(
+            constraints, candidates, record=False, explain=True
+        ).plan
 
     # ------------------------------------------------------------------
     # Cache management helpers
@@ -354,13 +380,21 @@ class CBCS:
         return len(self.cache)
 
     def _query_miss(
-        self, constraints: Constraints, watch: Stopwatch, io_before, retry_state=None
+        self,
+        constraints: Constraints,
+        watch: Stopwatch,
+        io_before,
+        retry_state=None,
+        xb=None,
     ) -> QueryOutcome:
         """Cache miss: compute naively (range query + skyline algorithm)."""
+        boxes = [constraints.region()]
+        if xb is not None:
+            xb.set_miss(constraints, boxes)
         with watch.stage("fetch_wall"):
-            fetch = self.executor.fetch(
-                self.backend, [constraints.region()], retry_state
-            )
+            fetch = self.executor.fetch(self.backend, boxes, retry_state)
+        if xb is not None:
+            xb.set_fetch(fetch)
         result = fetch.result
         with watch.stage("skyline"):
             skyline = result.points[self.skyline_algorithm(result.points)]
@@ -382,7 +416,7 @@ class CBCS:
     # Degradation ladder
     # ------------------------------------------------------------------
     def _answer_degraded(
-        self, constraints: Constraints, qspan, state, cause
+        self, constraints: Constraints, qspan, state, cause, xb=None
     ) -> QueryOutcome:
         """Walk the ladder after the normal plan gave up (``cause``).
 
@@ -410,6 +444,7 @@ class CBCS:
                     qspan,
                     retry_state=rung_state,
                     region_override=self._fallback_region,
+                    xb=xb,
                 )
                 outcome.degraded = RUNG_AMPR
                 qspan.set(degraded=RUNG_AMPR)
@@ -422,7 +457,9 @@ class CBCS:
         try:
             watch = Stopwatch(tracer=obs.tracer, profiler=obs.profiler)
             io_before = self.table.stats.snapshot()
-            outcome = self._query_miss(constraints, watch, io_before, rung_state)
+            outcome = self._query_miss(
+                constraints, watch, io_before, rung_state, xb=xb
+            )
             outcome.degraded = RUNG_BOUNDING
             qspan.set(degraded=RUNG_BOUNDING)
             state.retries += rung_state.retries

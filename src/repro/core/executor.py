@@ -51,13 +51,21 @@ def effective_latency_ms(io_ms: Sequence[float], workers: int) -> float:
 
 @dataclass(frozen=True)
 class FetchOutcome:
-    """One fetch stage's merged result plus its two I/O accountings."""
+    """One fetch stage's merged result plus its two I/O accountings.
+
+    ``parts`` keeps the per-box :class:`RangeResult` records in plan order
+    (one per box fetched), so the explain layer can join each planned box's
+    predicted cost against the rows/pages/seeks/io_ms that box actually
+    charged.  The tuple aliases the same arrays the merged ``result``
+    concatenates -- no copies.
+    """
 
     result: RangeResult
     io_ms_total: float
     effective_io_ms: float
     boxes: int = 0
     workers: int = 1
+    parts: tuple = ()
 
 
 class Executor:
@@ -111,6 +119,7 @@ class Executor:
             effective_io_ms=effective,
             boxes=len(boxes),
             workers=min(self.workers, max(len(boxes), 1)),
+            parts=tuple(parts),
         )
         if self.obs.enabled and self.workers > 1:
             self.obs.tracer.record(
@@ -178,6 +187,8 @@ class Executor:
             rowids=np.concatenate(rowids) if rowids else empty.rowids,
             rows_fetched=sum(p.rows_fetched for p in parts),
             io_ms=float(sum(p.io_ms for p in parts)),
+            pages_read=sum(p.pages_read for p in parts),
+            seeks=sum(p.seeks for p in parts),
         )
 
     # ------------------------------------------------------------------

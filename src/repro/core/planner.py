@@ -31,6 +31,15 @@ from repro.geometry.constraints import Constraints
 CASE_MISS = "miss"
 
 
+def score_as_json(score):
+    """Render a strategy score (float / tuple / None) as strict JSON."""
+    if score is None:
+        return None
+    if isinstance(score, (tuple, list)):
+        return [float(part) for part in score]
+    return float(score)
+
+
 @dataclass
 class QueryPlan:
     """A dry-run description of how CBCS would answer a query.
@@ -54,6 +63,11 @@ class QueryPlan:
     #: correlation id of the query this plan was produced for; stamped by
     #: the engine during execution (``explain`` plans keep the default None)
     query_id: Optional[str] = None
+    #: per-candidate scoring table (one dict per cache item considered,
+    #: with overlap/case/score and a rejection reason); filled only when
+    #: the plan was built with ``explain=True`` -- see
+    #: :meth:`Planner.candidate_table`
+    candidates_scored: List[dict] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         """JSON-serializable rendering of the plan.
@@ -75,6 +89,10 @@ class QueryPlan:
         }
         if self.query_id is not None:
             record["query_id"] = self.query_id
+        if self.candidates_scored:
+            record["candidates_scored"] = [
+                dict(row) for row in self.candidates_scored
+            ]
         return record
 
     def summary(self) -> str:
@@ -126,11 +144,61 @@ class Planner:
         self.region = region_computer
         self.estimate_count = estimate_count
 
-    def select(self, constraints: Constraints, candidates) -> Optional[object]:
-        """Pick the cache item to reuse, or None when nothing qualifies."""
+    def select(
+        self, constraints: Constraints, candidates, record: bool = True
+    ) -> Optional[object]:
+        """Pick the cache item to reuse, or None when nothing qualifies.
+
+        ``record=False`` (the explain-only path) suppresses the strategy's
+        selection span and ``strategy_selections_total`` counter so a
+        dry-run plan leaves the observability counters untouched.
+        """
         if not candidates:
             return None
-        return self.strategy.select(constraints, candidates)
+        return self.strategy.select(constraints, candidates, record=record)
+
+    def candidate_row(
+        self,
+        constraints: Constraints,
+        item,
+        selected: bool = False,
+        rejection: Optional[str] = None,
+    ) -> dict:
+        """One candidate's scoring-table entry (strict-JSON dict)."""
+        return {
+            "item_id": item.item_id,
+            "case": classify_change(item.constraints, constraints),
+            "overlap_volume": float(
+                item.constraints.overlap_volume(constraints)
+            ),
+            "skyline_size": int(item.skyline_size),
+            "score": score_as_json(self.strategy.score(constraints, item)),
+            "selected": bool(selected),
+            "rejection": None if selected else rejection,
+        }
+
+    def candidate_table(
+        self, constraints: Constraints, candidates, chosen=None
+    ) -> List[dict]:
+        """Score every candidate the strategy considered, selected first.
+
+        Each row carries the candidate's overlap volume, incremental case,
+        strategy score, and -- for the unselected -- a machine-readable
+        rejection reason (the strategy's ``rejection_reason``, e.g.
+        ``"outscored"``).  Pure and side-effect free: scoring never touches
+        the disk or the cache counters.
+        """
+        rows = [
+            self.candidate_row(
+                constraints,
+                item,
+                selected=item is chosen,
+                rejection=self.strategy.rejection_reason,
+            )
+            for item in candidates
+        ]
+        rows.sort(key=lambda row: not row["selected"])
+        return rows
 
     def plan(
         self,
@@ -138,6 +206,8 @@ class Planner:
         candidates,
         item=None,
         region_override=None,
+        record: bool = True,
+        explain: bool = False,
     ) -> PlannedQuery:
         """Plan one query against the given (already verified) candidates.
 
@@ -145,10 +215,17 @@ class Planner:
         item so selection is not repeated; with the default None the
         strategy picks from ``candidates``.  ``region_override`` substitutes
         the degradation ladder's aMPR re-plan for the configured region
-        computer.
+        computer.  ``record=False`` keeps a dry-run plan out of the
+        selection counters; ``explain=True`` additionally fills the plan's
+        :attr:`QueryPlan.candidates_scored` provenance table.
         """
         if item is None:
-            item = self.select(constraints, candidates)
+            item = self.select(constraints, candidates, record=record)
+        scored = (
+            self.candidate_table(constraints, candidates, chosen=item)
+            if explain
+            else []
+        )
         if item is None:
             region = constraints.region()
             plan = QueryPlan(
@@ -161,6 +238,7 @@ class Planner:
                 range_queries=1,
                 estimated_points=self.estimate_box(region),
                 boxes=[region],
+                candidates_scored=scored,
             )
             return PlannedQuery(plan=plan, constraints=constraints)
 
@@ -175,6 +253,7 @@ class Planner:
                 reusable_points=item.skyline_size,
                 range_queries=0,
                 estimated_points=0,
+                candidates_scored=scored,
             )
             return PlannedQuery(plan=plan, constraints=constraints, item=item)
 
@@ -191,6 +270,7 @@ class Planner:
             range_queries=len(mpr.boxes),
             estimated_points=sum(self.estimate_box(b) for b in mpr.boxes),
             boxes=list(mpr.boxes),
+            candidates_scored=scored,
         )
         return PlannedQuery(plan=plan, constraints=constraints, item=item, mpr=mpr)
 

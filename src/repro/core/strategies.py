@@ -61,18 +61,34 @@ class CacheSearchStrategy:
 
     name = "abstract"
     obs = NULL_OBS
+    #: Machine-readable reason an unselected candidate lost; strategies with
+    #: non-score-based selection override it (``Random``: "not-sampled",
+    #: ``CostBased``: "costlier-plan").  Surfaced per candidate by the
+    #: explain layer (:mod:`repro.obs.explain`).
+    rejection_reason = "outscored"
 
     def bind_obs(self, obs) -> "CacheSearchStrategy":
         """Attach observability (selection spans + counters)."""
         self.obs = NULL_OBS if obs is None else obs
         return self
 
-    def select(self, query: Constraints, items: Sequence[CacheItem]) -> CacheItem:
-        """Return the preferred cache item for ``query``."""
+    def select(
+        self,
+        query: Constraints,
+        items: Sequence[CacheItem],
+        record: bool = True,
+    ) -> CacheItem:
+        """Return the preferred cache item for ``query``.
+
+        ``record=False`` skips the selection span and the
+        ``strategy_selections_total`` counter -- the explain-only planning
+        path uses it so an ``explain()`` followed by ``query()`` counts one
+        selection, not two.
+        """
         if not items:
             raise ValueError("select() requires at least one candidate item")
         obs = self.obs
-        if not obs.enabled:
+        if not obs.enabled or not record:
             return self._select(query, items)
         with obs.tracer.span(
             "cache.select", strategy=self.name, candidates=len(items)
@@ -81,6 +97,20 @@ class CacheSearchStrategy:
             span.set(item_id=item.item_id)
         obs.metrics.inc("strategy_selections_total", strategy=self.name)
         return item
+
+    def score(self, query: Constraints, item: CacheItem):
+        """Inspection-only ranking score of one candidate (no side effects).
+
+        Returns whatever ``_score`` ranks by (a float or a tuple), or None
+        for strategies whose selection is not a per-item static score
+        (``Random``).  The explain layer records this next to each
+        candidate so rejections are explainable: the selected item's score
+        weakly dominates every rejected one's.
+        """
+        try:
+            return self._score(query, item)
+        except NotImplementedError:
+            return None
 
     def _select(self, query: Constraints, items: Sequence[CacheItem]) -> CacheItem:
         return max(items, key=lambda item: self._score(query, item))
@@ -96,6 +126,7 @@ class RandomStrategy(CacheSearchStrategy):
     """Uniformly random choice among the overlapping items."""
 
     name = "Random"
+    rejection_reason = "not-sampled"
 
     def __init__(self, seed: Rng = None):
         self._rng = (
@@ -220,6 +251,7 @@ class CostBased(CacheSearchStrategy):
     """
 
     name = "CostBased"
+    rejection_reason = "costlier-plan"
 
     def __init__(self, table, region, max_candidates: int = 4):
         if max_candidates < 1:
@@ -240,6 +272,10 @@ class CostBased(CacheSearchStrategy):
             if cost < best_cost:
                 best, best_cost = item, cost
         return best
+
+    def score(self, query: Constraints, item: CacheItem):
+        """Negated estimated plan cost (higher is better, like ``_score``)."""
+        return -self._estimated_cost(query, item)
 
     def _estimated_cost(self, query: Constraints, item: CacheItem) -> float:
         mpr = self.region.compute(item.constraints, item.skyline, query)

@@ -98,6 +98,10 @@ class Observability:
         #: ``repro.bench.harness.make_cbcs``); lets the bench CLI write
         #: ``cache.json`` introspection without threading the engine out.
         self.last_cache = None
+        #: Optional :class:`repro.obs.explain.ExplainRecorder`; when set,
+        #: every :meth:`CBCS.query` emits one decision-provenance record
+        #: (EXPLAIN ANALYZE) through it.
+        self.explainer = None
 
     def add_outcome_sink(self, sink) -> "Observability":
         """Register a per-query structured-log sink.

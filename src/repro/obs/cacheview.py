@@ -26,6 +26,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.schema import OBS_SCHEMA_VERSION
+
 __all__ = ["CacheView", "render_cacheview"]
 
 
@@ -124,6 +126,7 @@ class CacheView:
             for case, count in rec["case_uses"].items():
                 case_totals[case] = case_totals.get(case, 0) + count
         return {
+            "schema": OBS_SCHEMA_VERSION,
             "items": len(items),
             "capacity": stats.get("capacity"),
             "policy": stats.get("policy"),

@@ -1,0 +1,464 @@
+"""Per-query decision provenance: the engine's EXPLAIN ANALYZE.
+
+The CBCS paper's whole contribution is a *decision* -- pick one cached
+skyline, classify the overlap case, plan MPR/aMPR boxes -- yet a plain
+:class:`~repro.stats.QueryOutcome` only shows the chosen plan.  This module
+records the decision itself:
+
+- every cache candidate the strategy considered, with its overlap volume,
+  incremental case, score, and a machine-readable rejection reason
+  (``"outscored"``, ``"failed-verification"``, ``"not-sampled"``, ...);
+- the selected item and the resulting plan summary;
+- per plan box, the *predicted* points/pages/seeks/io_ms (selectivity
+  estimator + :meth:`~repro.storage.costmodel.DiskCostModel.predict_fetch`)
+  joined against the *actual* executed values stamped on each
+  :class:`~repro.storage.table.RangeResult`.
+
+One record is emitted per :meth:`CBCS.query` call, stamped with the query's
+correlation id, so ``explain.jsonl`` joins 1:1 with ``queries.jsonl`` and
+the trace.  For degraded queries the record reflects the final attempted
+plan plus the rung that actually served (``degraded`` field); boxes whose
+fetch never completed keep ``"actual": null``.
+
+Wiring: the bench CLI (``--explain``) sets an :class:`ExplainRecorder` on
+``Observability.explainer``; :meth:`CBCS.query` builds one
+:class:`ExplainBuilder` per query from it and feeds the planning/execution
+milestones.  With observability off (or no recorder installed) nothing is
+built and answers are bit-identical.
+
+CLI::
+
+    python -m repro.obs.explain OBS_DIR          # one summary line per query
+    python -m repro.obs.explain OBS_DIR QID      # full record for one query
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import deque
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.obs.schema import check_versions, stamp
+
+#: Rejection reason stamped on candidates the self-healing cache removed
+#: before planning (failed ``verify_and_heal``).
+REJECT_FAILED_VERIFICATION = "failed-verification"
+
+#: ``no_candidates_reason`` values for miss-case records.
+REASON_EMPTY_CACHE = "empty-cache"
+REASON_NO_OVERLAP = "no-overlapping-candidates"
+
+_COST_KEYS = ("points", "pages", "seeks", "io_ms")
+
+
+def _zero_cost() -> dict:
+    return {"points": 0, "pages": 0, "seeks": 0, "io_ms": 0.0}
+
+
+def _sum_costs(costs) -> dict:
+    total = _zero_cost()
+    for cost in costs:
+        for key in _COST_KEYS:
+            total[key] += cost.get(key, 0)
+    total["io_ms"] = round(float(total["io_ms"]), 6)
+    return total
+
+
+class ExplainBuilder:
+    """Accumulates one query's decision provenance as the engine runs it.
+
+    The engine calls, in order: :meth:`begin` (per planning attempt, so a
+    degraded re-plan resets the working state), :meth:`reject` for each
+    candidate dropped by cache verification, :meth:`set_plan` (or
+    :meth:`set_miss` on the naive path), :meth:`set_fetch` once the boxes
+    executed, and finally :meth:`finish` with the outcome.  Everything here
+    is pure bookkeeping plus I/O-free estimator/cost-model math -- the
+    builder never touches the disk or the cache.
+    """
+
+    def __init__(self, planner, cost_model, heap_pages, method, strategy):
+        self.planner = planner
+        self.cost_model = cost_model
+        self.heap_pages = heap_pages
+        self.method = method
+        self.strategy = strategy
+        self.attempts = 0
+        self.cache_items = 0
+        self.candidate_rows: List[dict] = []
+        self.rejected_rows: List[dict] = []
+        self.plan_summary: Optional[dict] = None
+        self.box_rows: List[dict] = []
+
+    # ------------------------------------------------------------------
+    # Milestones fed by the engine
+    # ------------------------------------------------------------------
+    def begin(self, constraints, candidates, cache_items: int) -> None:
+        """Start one planning attempt (resets any prior attempt's state)."""
+        self.attempts += 1
+        self.cache_items = int(cache_items)
+        self.candidate_rows = []
+        self.rejected_rows = []
+        self.plan_summary = None
+        self.box_rows = []
+
+    def reject(self, constraints, item, reason: str) -> None:
+        """Record a candidate removed before planning (e.g. failed verify)."""
+        self.rejected_rows.append(
+            self.planner.candidate_row(
+                constraints, item, selected=False, rejection=reason
+            )
+        )
+
+    def set_plan(self, planned) -> None:
+        """Record the chosen plan (built with ``explain=True``)."""
+        plan = planned.plan
+        self.plan_summary = {
+            "case": plan.case,
+            "cache_hit": plan.cache_hit,
+            "stable": plan.stable,
+            "item_id": plan.item_id,
+            "reusable_points": plan.reusable_points,
+            "range_queries": plan.range_queries,
+            "estimated_points": plan.estimated_points,
+        }
+        self.candidate_rows = [dict(row) for row in plan.candidates_scored]
+        self.box_rows = [self._forecast_row(box) for box in plan.boxes]
+
+    def set_miss(self, constraints, boxes) -> None:
+        """Record the naive miss plan (single bounding range query)."""
+        boxes = list(boxes)
+        estimated = sum(self.planner.estimate_box(box) for box in boxes)
+        self.plan_summary = {
+            "case": "miss",
+            "cache_hit": False,
+            "stable": None,
+            "item_id": None,
+            "reusable_points": 0,
+            "range_queries": len(boxes),
+            "estimated_points": int(estimated),
+        }
+        self.box_rows = [self._forecast_row(box) for box in boxes]
+
+    def set_fetch(self, fetch) -> None:
+        """Join per-box actuals from an executed fetch (plan order)."""
+        parts = getattr(fetch, "parts", ())
+        if len(parts) != len(self.box_rows):
+            return
+        for row, part in zip(self.box_rows, parts):
+            row["actual"] = {
+                "points": int(part.rows_fetched),
+                "pages": int(part.pages_read),
+                "seeks": int(part.seeks),
+                "io_ms": round(float(part.io_ms), 6),
+            }
+
+    def finish(self, outcome) -> dict:
+        """Assemble the final provenance record for one finished query."""
+        candidates = self.candidate_rows + self.rejected_rows
+        reason = None
+        if not candidates:
+            reason = (
+                REASON_EMPTY_CACHE
+                if self.cache_items == 0
+                else REASON_NO_OVERLAP
+            )
+        executed = [row["actual"] for row in self.box_rows if row["actual"]]
+        fully_executed = len(executed) == len(self.box_rows)
+        record = {
+            "query_id": getattr(outcome, "query_id", None),
+            "method": self.method,
+            "strategy": self.strategy,
+            "case": outcome.case,
+            "cache_hit": bool(outcome.cache_hit),
+            "stable": outcome.stable,
+            "degraded": outcome.degraded,
+            "attempts": self.attempts,
+            "cache_items": self.cache_items,
+            "no_candidates_reason": reason,
+            "candidates": candidates,
+            "plan": self.plan_summary,
+            "boxes": self.box_rows,
+            "predicted": _sum_costs(
+                row["predicted"] for row in self.box_rows
+            ),
+            "actual": _sum_costs(executed) if fully_executed else None,
+        }
+        return stamp(record)
+
+    # ------------------------------------------------------------------
+    def _forecast_row(self, box) -> dict:
+        rows = self.planner.estimate_box(box)
+        forecast = self.cost_model.predict_fetch(
+            rows, heap_pages=self.heap_pages
+        )
+        return {
+            "box": box.to_dict(),
+            "predicted": forecast.as_dict(),
+            "actual": None,
+        }
+
+
+class ExplainRecorder:
+    """Per-engine factory for builders plus the record fan-out.
+
+    Install on ``Observability.explainer``; every :meth:`CBCS.query` then
+    emits exactly one record here.  Records go to an optional JSONL sink
+    (``explain.jsonl``), an optional
+    :class:`~repro.obs.calibration.CalibrationLedger`, and an in-memory
+    ring buffer (``keep`` most recent) for tests and interactive use.
+    """
+
+    def __init__(self, sink=None, ledger=None, keep: int = 0):
+        self.sink = sink
+        self.ledger = ledger
+        self.records_emitted = 0
+        self._keep: Optional[deque] = deque(maxlen=keep) if keep else None
+
+    def builder(self, engine) -> ExplainBuilder:
+        """Build the per-query provenance accumulator for ``engine``."""
+        table = engine.table
+        model = table.cost_model
+        heap_pages = None if model.clustered else table.n_pages
+        return ExplainBuilder(
+            planner=engine.planner,
+            cost_model=model,
+            heap_pages=heap_pages,
+            method=engine.name,
+            strategy=engine.strategy.name,
+        )
+
+    def record(self, record: dict) -> None:
+        self.records_emitted += 1
+        if self._keep is not None:
+            self._keep.append(record)
+        if self.ledger is not None:
+            self.ledger.add(record)
+        if self.sink is not None:
+            self.sink.emit(record)
+
+    @property
+    def records(self) -> List[dict]:
+        """The buffered most-recent records (empty unless ``keep > 0``)."""
+        return list(self._keep or ())
+
+    def close(self) -> None:
+        if self.sink is not None:
+            close = getattr(self.sink, "close", None)
+            if close is not None:
+                close()
+
+
+# ----------------------------------------------------------------------
+# Reading + rendering
+# ----------------------------------------------------------------------
+def load_records(path) -> List[dict]:
+    """Read an ``explain.jsonl`` file, skipping blank/corrupt lines."""
+    records: List[dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def _fmt_cost(cost: Optional[dict]) -> str:
+    if not cost:
+        return "-"
+    return (
+        f"{cost.get('points', 0)}pt/{cost.get('pages', 0)}pg/"
+        f"{cost.get('seeks', 0)}sk/{cost.get('io_ms', 0.0):.1f}ms"
+    )
+
+
+def render_summary(records: List[dict]) -> str:
+    """One aligned line per record: the query-level predicted-vs-actual."""
+    from repro.bench.reporting import format_table
+
+    if not records:
+        return "(no explain records)"
+    rows = []
+    for rec in records:
+        plan = rec.get("plan") or {}
+        rows.append(
+            [
+                rec.get("query_id") or "-",
+                rec.get("case") or "-",
+                rec.get("degraded") or "-",
+                str(plan.get("item_id", "-")),
+                len(rec.get("candidates") or ()),
+                len(rec.get("boxes") or ()),
+                _fmt_cost(rec.get("predicted")),
+                _fmt_cost(rec.get("actual")),
+            ]
+        )
+    return format_table(
+        [
+            "query_id",
+            "case",
+            "degraded",
+            "item",
+            "cands",
+            "boxes",
+            "predicted",
+            "actual",
+        ],
+        rows,
+        title=f"Explain records ({len(records)} queries)",
+    )
+
+
+def render_record(record: dict) -> str:
+    """Full multi-table rendering of one query's provenance record."""
+    from repro.bench.reporting import format_table
+
+    plan = record.get("plan") or {}
+    lines = [
+        f"# explain {record.get('query_id') or '(no id)'}",
+        f"method={record.get('method')} strategy={record.get('strategy')} "
+        f"case={record.get('case')} cache_hit={record.get('cache_hit')} "
+        f"stable={record.get('stable')} degraded={record.get('degraded')}",
+        f"cache_items={record.get('cache_items')} "
+        f"attempts={record.get('attempts')} "
+        f"plan: item={plan.get('item_id')} "
+        f"reuse={plan.get('reusable_points')} "
+        f"range_queries={plan.get('range_queries')} "
+        f"est_points={plan.get('estimated_points')}",
+    ]
+    candidates = record.get("candidates") or []
+    if candidates:
+        rows = [
+            [
+                str(c.get("item_id")),
+                c.get("case") or "-",
+                f"{c.get('overlap_volume', 0.0):.4g}",
+                c.get("skyline_size", 0),
+                json.dumps(c.get("score")),
+                "<selected>" if c.get("selected") else (c.get("rejection") or "-"),
+            ]
+            for c in candidates
+        ]
+        lines.append(
+            format_table(
+                ["item", "case", "overlap", "skyline", "score", "verdict"],
+                rows,
+                title="Candidates considered",
+            )
+        )
+    else:
+        lines.append(
+            f"candidates: none ({record.get('no_candidates_reason')})"
+        )
+    boxes = record.get("boxes") or []
+    if boxes:
+        rows = [
+            [i, _fmt_cost(b.get("predicted")), _fmt_cost(b.get("actual"))]
+            for i, b in enumerate(boxes)
+        ]
+        lines.append(
+            format_table(
+                ["box", "predicted", "actual"],
+                rows,
+                title="Plan boxes (predicted vs actual)",
+            )
+        )
+    pred, act = record.get("predicted"), record.get("actual")
+    lines.append(f"totals: predicted {_fmt_cost(pred)} actual {_fmt_cost(act)}")
+    return "\n\n".join(lines)
+
+
+def summarize_obs_dir(directory) -> Tuple[Optional[str], List[str]]:
+    """(section text or None, warnings) for a directory's explain.jsonl."""
+    path = Path(directory) / "explain.jsonl"
+    if not path.is_file():
+        return None, []
+    try:
+        records = load_records(path)
+    except OSError as exc:
+        return None, [f"warning: {path}: unreadable ({exc})"]
+    warnings = [
+        f"warning: {w}" for w in check_versions(records, str(path))
+    ]
+    joined = sum(1 for rec in records if rec.get("query_id"))
+    cases: dict = {}
+    for rec in records:
+        key = str(rec.get("case"))
+        cases[key] = cases.get(key, 0) + 1
+    case_txt = ", ".join(f"{k}: {v}" for k, v in sorted(cases.items()))
+    text = (
+        "# explain\n"
+        f"records: {len(records)} ({joined} carrying a query_id)\n"
+        f"cases: {case_txt or '-'}"
+    )
+    return text, warnings
+
+
+def main(argv=None) -> int:
+    """CLI: render explain records from an ``--obs`` directory."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.explain",
+        description=(
+            "Render per-query planner decision provenance "
+            "(explain.jsonl) from an --obs output directory."
+        ),
+    )
+    parser.add_argument(
+        "obs_dir", metavar="OBS_DIR",
+        help="directory a `python -m repro.bench --obs DIR --explain` "
+             "run wrote",
+    )
+    parser.add_argument(
+        "query_id", metavar="QID", nargs="?",
+        help="render the full record of one query instead of the summary",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit raw JSON instead of aligned tables",
+    )
+    try:
+        opts = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
+    except SystemExit as exc:
+        return exc.code if isinstance(exc.code, int) else 2
+
+    path = Path(opts.obs_dir) / "explain.jsonl"
+    if not path.is_file():
+        print(f"no explain records at {path} (run bench with --obs --explain)")
+        return 2
+    try:
+        records = load_records(path)
+    except OSError as exc:
+        print(f"cannot read {path}: {exc}")
+        return 2
+    for warning in check_versions(records, str(path)):
+        print(f"warning: {warning}", file=sys.stderr)
+    if opts.query_id is not None:
+        matches = [r for r in records if r.get("query_id") == opts.query_id]
+        if not matches:
+            print(f"query_id {opts.query_id!r} not found in {path}")
+            return 1
+        for record in matches:
+            print(
+                json.dumps(record, indent=2)
+                if opts.json
+                else render_record(record)
+            )
+        return 0
+    if opts.json:
+        print(json.dumps(records, indent=2))
+    else:
+        print(render_summary(records))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -241,9 +241,11 @@ class MetricsRegistry:
         }
 
     def save_json(self, path) -> None:
-        """Write :meth:`as_dict` to ``path`` as indented JSON."""
+        """Write :meth:`as_dict` to ``path`` as indented, versioned JSON."""
+        from repro.obs.schema import stamp
+
         with open(path, "w") as handle:
-            json.dump(self.as_dict(), handle, indent=2)
+            json.dump(stamp(self.as_dict()), handle, indent=2)
 
     def __repr__(self) -> str:
         return (

@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Dict, List, Tuple
 
 from repro.bench.reporting import format_table
+from repro.obs.schema import check_version, check_versions
 
 Labeled = List[Tuple[Dict[str, str], Dict[str, float]]]
 
@@ -306,6 +307,24 @@ def render_report(metrics) -> str:
             )
         )
 
+    calibration = _series(snap, "gauges", "calibration_mare")
+    if calibration:
+        rows = [
+            [labels.get("stage", "?"), f"{rec['value']:.3f}"]
+            for labels, rec in sorted(
+                calibration, key=lambda lr: lr[0].get("stage", "")
+            )
+        ]
+        for labels, rec in _series(snap, "gauges", "calibration_queries"):
+            rows.append(["(queries calibrated)", int(rec["value"])])
+        sections.append(
+            format_table(
+                ["stage", "MARE"],
+                rows,
+                title="Cost-model calibration (predicted vs actual)",
+            )
+        )
+
     if not sections:
         return "(no metrics recorded)"
     return "\n\n".join(sections)
@@ -361,10 +380,18 @@ def render_obs_dir(directory) -> Tuple[str, List[str], int]:
     def missing(name: str, why: str = "missing") -> None:
         warnings.append(f"warning: {directory / name}: {why}")
 
+    def version_warning(record, name: str) -> None:
+        warning = check_version(record, str(directory / name))
+        if warning is not None:
+            warnings.append(f"warning: {warning}")
+
     metrics_path = directory / "metrics.json"
     if metrics_path.is_file():
         try:
-            sections.append(render_report(metrics_path))
+            with open(metrics_path) as handle:
+                snap = json.load(handle)
+            version_warning(snap, "metrics.json")
+            sections.append(render_report(snap))
         except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
             missing("metrics.json", f"unreadable ({exc})")
     else:
@@ -373,7 +400,10 @@ def render_obs_dir(directory) -> Tuple[str, List[str], int]:
     health_path = directory / "health.jsonl"
     if health_path.is_file():
         try:
-            sections.append(render_health_section(_read_jsonl(health_path)))
+            records = _read_jsonl(health_path)
+            for warning in check_versions(records, str(health_path)):
+                warnings.append(f"warning: {warning}")
+            sections.append(render_health_section(records))
         except (OSError, json.JSONDecodeError) as exc:
             missing("health.jsonl", f"unreadable ({exc})")
 
@@ -383,9 +413,33 @@ def render_obs_dir(directory) -> Tuple[str, List[str], int]:
             from repro.obs.cacheview import render_cacheview
 
             with open(cache_path) as handle:
-                sections.append(render_cacheview(json.load(handle)))
+                cache_snap = json.load(handle)
+            version_warning(cache_snap, "cache.json")
+            sections.append(render_cacheview(cache_snap))
         except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
             missing("cache.json", f"unreadable ({exc})")
+
+    try:
+        from repro.obs.explain import summarize_obs_dir
+
+        explain_text, explain_warnings = summarize_obs_dir(directory)
+        warnings.extend(explain_warnings)
+        if explain_text is not None:
+            sections.append(explain_text)
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        missing("explain.jsonl", f"unreadable ({exc})")
+
+    calibration_path = directory / "calibration.json"
+    if calibration_path.is_file():
+        try:
+            from repro.obs.calibration import render_calibration
+
+            with open(calibration_path) as handle:
+                summary = json.load(handle)
+            version_warning(summary, "calibration.json")
+            sections.append(render_calibration(summary))
+        except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+            missing("calibration.json", f"unreadable ({exc})")
 
     trace_path = directory / "trace.jsonl"
     if trace_path.is_file():
@@ -431,11 +485,25 @@ def render_obs_dir(directory) -> Tuple[str, List[str], int]:
 
 def main(argv=None) -> int:
     """CLI: ``python -m repro.obs.report METRICS_JSON_OR_OBS_DIR``."""
-    argv = list(sys.argv[1:] if argv is None else argv)
-    if len(argv) != 1:
-        print("usage: python -m repro.obs.report METRICS_JSON_OR_OBS_DIR")
-        return 2
-    target = Path(argv[0])
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description=(
+            "Render the observability artifacts of an instrumented run: "
+            "a metrics.json snapshot, or a whole --obs output directory."
+        ),
+    )
+    parser.add_argument(
+        "target", metavar="METRICS_JSON_OR_OBS_DIR",
+        help="path to a metrics.json snapshot or an --obs directory",
+    )
+    try:
+        opts = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
+    except SystemExit as exc:
+        return exc.code if isinstance(exc.code, int) else 2
+
+    target = Path(opts.target)
     if target.is_dir():
         text, warnings, rendered = render_obs_dir(target)
         for warning in warnings:
@@ -446,11 +514,15 @@ def main(argv=None) -> int:
         print(text)
         return 0
     try:
-        report = render_report(argv[0])
+        with open(target) as handle:
+            snap = json.load(handle)
     except (OSError, json.JSONDecodeError) as exc:
-        print(f"cannot read metrics snapshot {argv[0]}: {exc}")
+        print(f"cannot read metrics snapshot {target}: {exc}")
         return 2
-    print(report)
+    warning = check_version(snap, str(target))
+    if warning is not None:
+        print(f"warning: {warning}", file=sys.stderr)
+    print(render_report(snap))
     return 0
 
 

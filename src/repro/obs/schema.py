@@ -1,0 +1,62 @@
+"""Schema versioning for observability artifacts.
+
+Every JSON/JSONL artifact an ``--obs`` run writes -- ``metrics.json``,
+``cache.json``, ``health.jsonl`` snapshots, ``explain.jsonl`` records,
+``calibration.json`` -- carries a top-level ``"schema": N`` field so readers
+(:mod:`repro.obs.report`, external tooling) can detect records written by a
+newer or older build.  Readers must *warn, not raise* on unknown versions:
+an artifact from a different build is still mostly renderable, and a report
+over a partial directory is more useful than a crash.
+
+(The benchmark snapshots under ``BENCH_*.json`` predate this module and
+keep their own ``schema``/``schema_version`` pair -- see
+:mod:`repro.bench.regress`.)
+
+This module is import-cycle free on purpose: it depends on nothing inside
+``repro``, so even :mod:`repro.obs.metrics` (which ``repro.obs.__init__``
+imports) can stamp its output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+#: Version stamped into every obs artifact this build writes.
+OBS_SCHEMA_VERSION = 1
+
+
+def stamp(record: dict) -> dict:
+    """Return ``record`` with the current schema version prepended.
+
+    The version comes first so it is the first key of the serialized JSON
+    object -- cheap to sniff without parsing the whole document.
+    """
+    return {"schema": OBS_SCHEMA_VERSION, **record}
+
+
+def check_version(record: object, artifact: str) -> Optional[str]:
+    """Return a warning string when ``record`` carries an unknown version.
+
+    ``None`` means the artifact is either current or pre-versioning (no
+    ``schema`` key at all -- artifacts written before this field existed
+    stay readable without complaint).
+    """
+    if not isinstance(record, dict):
+        return None
+    version = record.get("schema")
+    if version is None or version == OBS_SCHEMA_VERSION:
+        return None
+    return (
+        f"{artifact}: unknown schema version {version!r} "
+        f"(this build reads version {OBS_SCHEMA_VERSION}); "
+        f"rendering best-effort"
+    )
+
+
+def check_versions(records, artifact: str) -> List[str]:
+    """Version-check a JSONL record stream; at most one warning per file."""
+    for record in records:
+        warning = check_version(record, artifact)
+        if warning is not None:
+            return [warning]
+    return []

@@ -21,7 +21,34 @@ constants themselves.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+
+@dataclass(frozen=True)
+class FetchForecast:
+    """Predicted cost of fetching ``points`` rows in one range query.
+
+    Produced by :meth:`DiskCostModel.predict_fetch` before any I/O happens;
+    the executed counterpart is the ``(rows_fetched, pages_read, seeks,
+    io_ms)`` stamped onto each :class:`~repro.storage.table.RangeResult`.
+    The explain/calibration layer (:mod:`repro.obs.explain`,
+    :mod:`repro.obs.calibration`) joins the two per plan box.
+    """
+
+    points: int
+    pages: int
+    seeks: int
+    io_ms: float
+
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        return {
+            "points": self.points,
+            "pages": self.pages,
+            "seeks": self.seeks,
+            "io_ms": round(self.io_ms, 6),
+        }
 
 
 @dataclass(frozen=True)
@@ -60,3 +87,44 @@ class DiskCostModel:
         if n_pages == 0:
             return 0.0
         return self.fetch_cost_ms(1, n_pages)
+
+    def predict_fetch(
+        self, n_rows: int, heap_pages: Optional[int] = None
+    ) -> FetchForecast:
+        """Forecast one range query's fetch of an estimated ``n_rows`` rows.
+
+        Clustered heaps read one contiguous run: ``ceil(rows / page_size)``
+        pages behind a single seek -- exactly what :meth:`DiskTable
+        ._charge_fetch` will charge, so clustered predictions differ from
+        actuals only through the row-count estimate itself.
+
+        Unclustered heaps scatter the rows over ``heap_pages`` physical
+        pages; the expected number of *distinct* pages touched follows the
+        Yao/Cardenas approximation ``P * (1 - (1 - 1/P)^n)``, and the
+        expected number of contiguous runs (seeks) among ``k`` uniformly
+        chosen pages out of ``P`` is ``k * (P - k + 1) / P``.  Without a
+        ``heap_pages`` hint the unclustered forecast degrades to the
+        pessimistic one-page-per-row-capped bound.
+        """
+        n = max(int(n_rows), 0)
+        if n == 0:
+            return FetchForecast(points=0, pages=0, seeks=0, io_ms=0.0)
+        if self.clustered:
+            pages = math.ceil(n / self.page_size)
+            seeks = 1
+        elif heap_pages is None or heap_pages < 1:
+            # No heap-size hint: pessimistic scatter, one page per row.
+            pages = n
+            seeks = n
+        else:
+            pool = max(int(heap_pages), 1)
+            expected = pool * (1.0 - (1.0 - 1.0 / pool) ** n)
+            pages = max(1, min(pool, n, math.ceil(expected)))
+            runs = pages * (pool - pages + 1) / pool
+            seeks = max(1, min(pages, math.ceil(runs)))
+        return FetchForecast(
+            points=n,
+            pages=pages,
+            seeks=seeks,
+            io_ms=self.fetch_cost_ms(seeks, pages),
+        )

@@ -84,13 +84,18 @@ class RangeResult:
     ``io_ms`` is the simulated disk latency this one call charged (stamped
     under the table lock); the concurrent executor schedules per-box
     ``io_ms`` values onto its worker lanes to derive the effective parallel
-    fetch latency.
+    fetch latency.  ``pages_read`` and ``seeks`` are the physical-I/O
+    counters this one call added to :attr:`DiskTable.stats` -- the
+    per-range-query *actuals* the explain/calibration layer joins against
+    the cost model's :class:`~repro.storage.costmodel.FetchForecast`.
     """
 
     points: np.ndarray
     rowids: np.ndarray
     rows_fetched: int
     io_ms: float = 0.0
+    pages_read: int = 0
+    seeks: int = 0
 
     def __len__(self) -> int:
         return len(self.rowids)
@@ -277,9 +282,17 @@ class DiskTable:
         """Run one range query under the table lock, stamping its I/O cost."""
         with self._lock:
             io_before = self.stats.simulated_io_ms
+            pages_before = self.stats.pages_read
+            seeks_before = self.stats.seeks
             result = self._execute_range_query(box)
             io_ms = self.stats.simulated_io_ms - io_before
-        return replace(result, io_ms=io_ms) if io_ms else result
+            pages = self.stats.pages_read - pages_before
+            seeks = self.stats.seeks - seeks_before
+        if io_ms or pages or seeks:
+            result = replace(
+                result, io_ms=io_ms, pages_read=pages, seeks=seeks
+            )
+        return result
 
     def charge_io(self, ms: float) -> None:
         """Charge extra simulated I/O latency (e.g. an injected latency
@@ -342,20 +355,31 @@ class DiskTable:
         all_rows: List[np.ndarray] = []
         fetched = 0
         io_total = 0.0
+        pages_total = 0
+        seeks_total = 0
         for box in boxes:
             result = self.range_query(box)
             fetched += result.rows_fetched
             io_total += result.io_ms
+            pages_total += result.pages_read
+            seeks_total += result.seeks
             if len(result):
                 all_points.append(result.points)
                 all_rows.append(result.rowids)
         if not all_rows:
-            return replace(self._empty_result(), io_ms=io_total)
+            return replace(
+                self._empty_result(),
+                io_ms=io_total,
+                pages_read=pages_total,
+                seeks=seeks_total,
+            )
         return RangeResult(
             points=np.concatenate(all_points),
             rowids=np.concatenate(all_rows),
             rows_fetched=fetched,
             io_ms=io_total,
+            pages_read=pages_total,
+            seeks=seeks_total,
         )
 
     def full_scan(self) -> RangeResult:

@@ -1,0 +1,171 @@
+"""Tests for bench-trajectory reporting (repro.bench.history)."""
+
+import json
+
+from repro.bench.history import (
+    build_history,
+    collect_snapshots,
+    main,
+    render_history,
+)
+from repro.bench.regress import SCHEMA, SCHEMA_VERSION
+
+
+def snapshot(run_id, created_at, total_ms, points_read, scale="quick"):
+    return {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "run_id": run_id,
+        "created_at": created_at,
+        "scale": scale,
+        "git_rev": "deadbeefcafe",
+        "figures": {
+            "fig5a": {
+                "methods": {
+                    "CBCS": {
+                        "queries": 100,
+                        "total_ms": {"mean": total_ms},
+                        "points_read": points_read,
+                        "range_queries": 1.0,
+                        "stage_ms": {},
+                    }
+                },
+                "cache": {"lookups": 100, "hit_rate": 0.8},
+            }
+        },
+    }
+
+
+def write(tmp_path, snap, name=None):
+    path = tmp_path / (name or f"BENCH_{snap['run_id']}.json")
+    path.write_text(json.dumps(snap))
+    return path
+
+
+class TestCollect:
+    def test_orders_by_created_at(self, tmp_path):
+        # file names deliberately sort against creation order
+        write(tmp_path, snapshot("b", "2026-08-02T00:00:00", 10.0, 100.0),
+              name="BENCH_aaa.json")
+        write(tmp_path, snapshot("a", "2026-08-01T00:00:00", 10.0, 100.0),
+              name="BENCH_zzz.json")
+        snaps, warnings = collect_snapshots(tmp_path)
+        assert warnings == []
+        assert [s["run_id"] for s in snaps] == ["a", "b"]
+
+    def test_malformed_file_warns_and_skips(self, tmp_path):
+        write(tmp_path, snapshot("a", "2026-08-01T00:00:00", 10.0, 100.0))
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        (tmp_path / "BENCH_wrong.json").write_text(
+            json.dumps({"schema": "something-else"})
+        )
+        snaps, warnings = collect_snapshots(tmp_path)
+        assert len(snaps) == 1
+        assert len(warnings) == 2
+
+    def test_non_bench_files_ignored(self, tmp_path):
+        (tmp_path / "notes.json").write_text("[]")
+        snaps, warnings = collect_snapshots(tmp_path)
+        assert snaps == [] and warnings == []
+
+
+class TestBuildHistory:
+    def test_flags_run_over_run_regression(self):
+        snaps = [
+            snapshot("r1", "2026-08-01T00:00:00", 10.0, 100.0),
+            snapshot("r2", "2026-08-02T00:00:00", 20.0, 100.0),  # +100% ms
+            snapshot("r3", "2026-08-03T00:00:00", 10.0, 100.0),  # back down
+        ]
+        history = build_history(snaps)
+        assert history["schema"] == "repro.bench.history"
+        assert history["snapshots"] == 3
+        points = history["scales"]["quick"]["fig5a"]["CBCS"]
+        assert [p["run_id"] for p in points] == ["r1", "r2", "r3"]
+        assert points[0]["regressions"] == []
+        assert points[1]["regressions"] == ["total_ms"]
+        assert points[2]["regressions"] == []
+        assert points[2]["improvements"] == ["total_ms"]
+
+    def test_jitter_below_threshold_is_ok(self):
+        # +20% relative but only +0.4 ms absolute: below both CI floors
+        snaps = [
+            snapshot("r1", "2026-08-01T00:00:00", 2.0, 100.0),
+            snapshot("r2", "2026-08-02T00:00:00", 2.4, 100.0),
+        ]
+        points = build_history(snaps)["scales"]["quick"]["fig5a"]["CBCS"]
+        assert points[1]["regressions"] == []
+        assert points[1]["improvements"] == []
+
+    def test_points_read_regression(self):
+        snaps = [
+            snapshot("r1", "2026-08-01T00:00:00", 10.0, 100.0),
+            snapshot("r2", "2026-08-02T00:00:00", 10.0, 200.0),
+        ]
+        points = build_history(snaps)["scales"]["quick"]["fig5a"]["CBCS"]
+        assert points[1]["regressions"] == ["points_read"]
+
+    def test_scale_filter_splits_series(self):
+        snaps = [
+            snapshot("q1", "2026-08-01T00:00:00", 10.0, 100.0, scale="quick"),
+            snapshot("f1", "2026-08-02T00:00:00", 90.0, 900.0, scale="full"),
+        ]
+        history = build_history(snaps)
+        assert set(history["scales"]) == {"quick", "full"}
+        only_quick = build_history(snaps, scale="quick")
+        assert set(only_quick["scales"]) == {"quick"}
+        # cross-scale points never compare against each other
+        assert history["scales"]["full"]["fig5a"]["CBCS"][0]["regressions"] == []
+
+
+class TestRender:
+    def test_markdown_highlights_regressions(self):
+        snaps = [
+            snapshot("r1", "2026-08-01T00:00:00", 10.0, 100.0),
+            snapshot("r2", "2026-08-02T00:00:00", 20.0, 100.0),
+        ]
+        text = render_history(build_history(snaps))
+        assert "# Bench trajectory (2 snapshots)" in text
+        assert "## fig5a / CBCS (scale=quick)" in text
+        assert "**REGRESSED: total_ms**" in text
+        assert "1 run-over-run regression(s)" in text
+
+    def test_markdown_clean_run(self):
+        snaps = [snapshot("r1", "2026-08-01T00:00:00", 10.0, 100.0)]
+        text = render_history(build_history(snaps))
+        assert "no run-over-run regressions beyond threshold" in text
+
+    def test_empty_history(self):
+        text = render_history(build_history([]))
+        assert "(no figure series found)" in text
+
+
+class TestCLI:
+    def test_renders_and_writes_artifacts(self, tmp_path, capsys):
+        write(tmp_path, snapshot("r1", "2026-08-01T00:00:00", 10.0, 100.0))
+        write(tmp_path, snapshot("r2", "2026-08-02T00:00:00", 20.0, 100.0))
+        json_out = tmp_path / "hist.json"
+        md_out = tmp_path / "hist.md"
+        rc = main(
+            [str(tmp_path), "--json", str(json_out), "--markdown", str(md_out)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Bench trajectory" in out
+        loaded = json.loads(json_out.read_text())
+        assert loaded["schema_version"] == 1
+        assert "REGRESSED" in md_out.read_text()
+
+    def test_missing_directory(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+        assert "no such snapshot directory" in capsys.readouterr().out
+
+    def test_empty_directory(self, tmp_path, capsys):
+        assert main([str(tmp_path)]) == 2
+        assert "no readable" in capsys.readouterr().out
+
+    def test_warning_goes_to_stderr(self, tmp_path, capsys):
+        write(tmp_path, snapshot("r1", "2026-08-01T00:00:00", 10.0, 100.0))
+        (tmp_path / "BENCH_bad.json").write_text("{broken")
+        assert main([str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "warning:" in captured.err

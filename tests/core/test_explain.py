@@ -76,3 +76,64 @@ class TestExplain:
         text = plan.summary()
         assert "case=case_c" in text
         assert "item #" in text
+
+    def test_explain_plans_carry_candidate_scores(self, engine):
+        engine.query(Constraints([0.2] * 3, [0.8] * 3))
+        engine.query(Constraints([0.1] * 3, [0.7] * 3))
+        plan = engine.explain(Constraints([0.2] * 3, [0.8, 0.8, 0.85]))
+        scored = plan.candidates_scored
+        assert len(scored) == 2
+        assert scored[0]["selected"] and scored[0]["rejection"] is None
+        assert not scored[1]["selected"]
+        assert scored[1]["rejection"] == engine.strategy.rejection_reason
+        for row in scored:
+            assert row["overlap_volume"] > 0
+            assert row["case"] in {"case_c", "general_stable", "general_unstable"}
+        # the scoring table is explain-only: executed plans skip the work
+        assert engine.query(Constraints([0.15] * 3, [0.75] * 3)) is not None
+
+    def test_estimated_points_bound_actual_across_queries(self, engine):
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            lo = rng.random(3) * 0.3
+            hi = 0.5 + rng.random(3) * 0.5
+            c = Constraints(lo, hi)
+            plan = engine.explain(c)
+            outcome = engine.query(c)
+            assert outcome.case == plan.case
+            # most-selective-dimension estimate is an upper bound on the
+            # bitmap plan's exact match count
+            assert outcome.io.points_read <= plan.estimated_points
+
+
+class TestExplainSelectionCounters:
+    """explain() + query() must count one lookup and one selection, not two."""
+
+    def test_explain_then_query_counts_one_selection(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        data = generate("independent", 2000, 3, seed=42)
+        engine = CBCS(DiskTable(data, obs=obs), obs=obs)
+        engine.query(Constraints([0.2] * 3, [0.8] * 3))  # warm: miss, no selection
+        strategy = engine.strategy.name
+        m = obs.metrics
+        assert m.counter_value("strategy_selections_total", strategy=strategy) == 0.0
+        lookups_before = m.counter_value(
+            "cache_lookups_total", strategy=strategy, outcome="hit"
+        )
+
+        refined = Constraints([0.2] * 3, [0.8, 0.8, 0.85])
+        engine.explain(refined)
+        assert (
+            m.counter_value("strategy_selections_total", strategy=strategy) == 0.0
+        ), "explain() must not count a selection"
+        engine.query(refined)
+        assert (
+            m.counter_value("strategy_selections_total", strategy=strategy) == 1.0
+        ), "explain()+query() must count exactly one selection"
+        assert (
+            m.counter_value("cache_lookups_total", strategy=strategy, outcome="hit")
+            == lookups_before + 1.0
+        )
+        engine.close()

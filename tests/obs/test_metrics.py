@@ -105,6 +105,9 @@ class TestExport:
         path = tmp_path / "metrics.json"
         reg.save_json(path)
         loaded = json.loads(path.read_text())
+        # Saved snapshots are stamped with the obs schema version; the body
+        # is exactly as_dict().
+        assert loaded.pop("schema") == 1
         assert loaded == reg.as_dict()
         assert loaded["counters"][0] == {
             "name": "queries_total",

@@ -36,6 +36,91 @@ class TestCostModel:
         assert scattered > sequential
 
 
+class TestPredictFetch:
+    def test_zero_rows_is_free(self):
+        forecast = DiskCostModel().predict_fetch(0)
+        assert forecast.points == 0
+        assert forecast.pages == 0
+        assert forecast.seeks == 0
+        assert forecast.io_ms == 0.0
+
+    def test_clustered_matches_fetch_cost(self):
+        model = DiskCostModel(page_size=10)
+        forecast = model.predict_fetch(25)
+        assert forecast.points == 25
+        assert forecast.pages == 3  # ceil(25 / 10)
+        assert forecast.seeks == 1  # one contiguous run
+        assert forecast.io_ms == pytest.approx(model.fetch_cost_ms(1, 3))
+
+    def test_unclustered_without_hint_is_pessimistic(self):
+        model = DiskCostModel(page_size=10, clustered=False)
+        forecast = model.predict_fetch(25)
+        assert forecast.pages == 25  # one page per row
+        assert forecast.seeks == 25
+
+    def test_unclustered_yao_estimate_bounded_by_heap(self):
+        model = DiskCostModel(page_size=10, clustered=False)
+        forecast = model.predict_fetch(500, heap_pages=40)
+        assert 1 <= forecast.pages <= 40
+        assert 1 <= forecast.seeks <= forecast.pages
+        # 500 uniform draws over 40 pages hit nearly every page
+        assert forecast.pages == 40
+
+    def test_unclustered_few_rows_touch_few_pages(self):
+        model = DiskCostModel(page_size=10, clustered=False)
+        forecast = model.predict_fetch(3, heap_pages=1000)
+        assert forecast.points == 3
+        assert forecast.pages <= 3  # Yao: at most one page per row
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        record = DiskCostModel().predict_fetch(100).as_dict()
+        assert set(record) == {"points", "pages", "seeks", "io_ms"}
+        json.dumps(record)
+
+
+class TestUnclusteredAccounting:
+    """clustered=False charges page runs from physical row ids."""
+
+    def test_scattered_rows_pay_per_run(self):
+        from repro.geometry.constraints import Constraints
+        from repro.storage.table import DiskTable
+
+        rng = np.random.default_rng(0)
+        data = rng.random((200, 2))
+        model = DiskCostModel(page_size=10, clustered=False)
+        table = DiskTable(data, cost_model=model)
+        box = Constraints(np.zeros(2), np.ones(2)).region()
+        table.range_query(box)  # full region: every page, one run
+        stats = table.stats
+        assert stats.pages_read == 20  # 200 rows / 10 per page
+        assert stats.seeks == 1  # rows are contiguous -> one run
+        assert stats.simulated_io_ms == pytest.approx(
+            model.fetch_cost_ms(1, 20)
+        )
+
+    def test_selective_query_charges_runs_not_rows(self):
+        from repro.geometry.constraints import Constraints
+        from repro.storage.table import DiskTable
+
+        rng = np.random.default_rng(1)
+        data = rng.random((400, 2))
+        model = DiskCostModel(page_size=16, clustered=False)
+        table = DiskTable(data, cost_model=model)
+        box = Constraints(np.zeros(2), np.full(2, 0.3)).region()
+        result = table.range_query(box)
+        rows = result.rows_fetched
+        assert 0 < rows < 400
+        stats = table.stats
+        # scattered hits: pages <= rows, runs <= pages, all charged
+        assert stats.pages_read <= rows
+        assert 1 <= stats.seeks <= stats.pages_read
+        assert stats.simulated_io_ms == pytest.approx(
+            model.fetch_cost_ms(stats.seeks, stats.pages_read)
+        )
+
+
 class TestPageRuns:
     def test_empty(self):
         assert page_runs(np.array([], dtype=np.int64), 10) == (0, 0)
