@@ -133,9 +133,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--chaos", metavar="N", type=int,
         help="run an N-query chaos soak (fault-injected mixed workload with "
-             "reference-checked answers and a circuit-breaker drill); "
-             "exits 4 if the soak fails.  Without explicit FIGUREs, runs "
-             "the soak alone",
+             "reference-checked answers, a circuit-breaker drill, and a "
+             "crash-recovery drill); exits 4 if the soak fails.  Without "
+             "explicit FIGUREs, runs the soak alone",
+    )
+    parser.add_argument(
+        "--crash-drill", action="store_true",
+        help="run the seeded crash-recovery drill: kill a durable engine at "
+             "armed crash points mid-write, recover from the WAL, and check "
+             "answers bit-exactly against an uncrashed reference; exits 5 "
+             "on failure",
+    )
+    parser.add_argument(
+        "--crash-out", metavar="DIR",
+        help="keep the crash drill's durability/WAL directories and write "
+             "recovery_report.json under DIR (CI artifacts)",
     )
     return parser
 
@@ -167,8 +179,8 @@ def main(argv=None) -> int:
         return 2
     if opts.figures:
         names = list(opts.figures)
-    elif opts.chaos is not None:
-        names = []  # soak-only run
+    elif opts.chaos is not None or opts.crash_drill:
+        names = []  # soak-/drill-only run
     else:
         names = list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
@@ -272,6 +284,7 @@ def main(argv=None) -> int:
     figure_summaries = {}
     figure_failures = []
     chaos_report = None
+    crash_report = None
     cumulative = obs.metrics if obs is not None else None
     audit_summary = None
     faults_ctx = (
@@ -348,6 +361,20 @@ def main(argv=None) -> int:
             print()
             if opts.json is not None:
                 dump["chaos"] = chaos_report.as_dict()
+        if opts.crash_drill or opts.chaos is not None:
+            # The crash-recovery drill rides along with every chaos soak:
+            # same fault profile, same worker count, plus armed crashes.
+            from repro.bench.crashdrill import run_crash_drill
+
+            crash_report = run_crash_drill(
+                profile=opts.faults or "default",
+                workers=opts.workers,
+                out_dir=opts.crash_out,
+            )
+            print(crash_report.render_text())
+            print()
+            if opts.json is not None:
+                dump["crash_drill"] = crash_report.as_dict()
         if opts.audit:
             from repro.obs.audit import render_summary, run_quick_audit
 
@@ -371,8 +398,9 @@ def main(argv=None) -> int:
             print(f"[health snapshots written to {health_sink.path}]")
 
     if opts.json is not None:
-        with open(opts.json, "w") as handle:
-            json.dump(dump, handle, indent=2)
+        from repro.ioutil import atomic_write_json
+
+        atomic_write_json(opts.json, dump)
         print(f"[series written to {opts.json}]")
 
     exit_code = 0
@@ -426,13 +454,11 @@ def main(argv=None) -> int:
             print(f"[openmetrics written to {out_dir / 'metrics.prom'}]")
             print(f"[trace written to {out_dir / 'trace.jsonl'}]")
             if obs.last_cache is not None:
+                from repro.ioutil import atomic_write_json
                 from repro.obs.cacheview import CacheView
 
                 cache_path = out_dir / "cache.json"
-                with open(cache_path, "w") as handle:
-                    json.dump(
-                        CacheView(obs.last_cache).snapshot(), handle, indent=2
-                    )
+                atomic_write_json(cache_path, CacheView(obs.last_cache).snapshot())
                 print(f"[cache introspection written to {cache_path}]")
             if opts.explain:
                 print(
@@ -463,13 +489,17 @@ def main(argv=None) -> int:
             print("\n# observability report\n")
             print(render_report(obs.metrics))
     # Distinct exit codes: 1 regression, 2 usage/snapshot error, 3 a figure
-    # run failed mid-workload, 4 the chaos soak failed.
+    # run failed mid-workload, 4 the chaos soak failed, 5 the crash-recovery
+    # drill failed.
     if figure_failures:
         print(f"[{len(figure_failures)} figure(s) failed: {figure_failures}]")
         exit_code = 3
     if chaos_report is not None and not chaos_report.passed:
         print("[chaos soak FAILED]")
         exit_code = 4
+    if crash_report is not None and not crash_report.passed:
+        print("[crash-recovery drill FAILED]")
+        exit_code = 5
     return exit_code
 
 

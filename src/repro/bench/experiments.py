@@ -495,6 +495,110 @@ def fig12_real_data(workload: str = "interactive", seed: int = 0) -> FigureRepor
     )
 
 
+# ----------------------------------------------------------------------
+# Warm restarts -- cold vs warm engine start (durability extension)
+# ----------------------------------------------------------------------
+def warmstart_restart(seed: int = 0, ndim: int = 4) -> FigureReport:
+    """Cold vs warm start: persist the cache, restart, re-run the workload.
+
+    Three phases over one independent-query workload:
+
+    - **cold**: a fresh engine with an empty disk-backed cache answers the
+      workload (populating the cache), then shuts down cleanly (final
+      checkpoint);
+    - **memory**: the same still-running engine re-answers the workload --
+      the in-memory hit-rate ceiling a warm restart must reproduce;
+    - **warm**: a *new* engine restores the persisted cache from snapshot +
+      WAL tail and re-answers the workload.
+
+    A faithful restore makes the warm hit rate equal the memory control's
+    and the warm total strictly cheaper than the cold total.  The numbers
+    are exported as ``warmstart_*`` gauges so the bench snapshot carries a
+    cold-vs-warm section (see ``repro.bench.regress.summarize_registry``).
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.cache import SkylineCache
+    from repro.core.cache_backend import DiskCacheBackend
+
+    n = scaled(2_000, 10_000, 50_000)
+    n_queries = scaled(40, 150, 400)
+    data = generate("independent", n, ndim, seed=seed)
+    queries = list(
+        WorkloadGenerator(data, seed=seed + 1).independent_queries(n_queries)
+    )
+    tmp = Path(tempfile.mkdtemp(prefix="repro-warmstart-"))
+    try:
+        cache_dir = tmp / "cache"
+
+        def hit_rate(cache, hits0, misses0):
+            hits = cache.hits - hits0
+            misses = cache.misses - misses0
+            return hits / (hits + misses) if hits + misses else 0.0
+
+        cache = SkylineCache(
+            backend=DiskCacheBackend(cache_dir, fsync=False, checkpoint_every=None)
+        )
+        engine = make_cbcs(data, cache=cache)
+        cold = run_queries(engine, queries)
+        cold_rate = hit_rate(cache, 0, 0)
+        h0, m0 = cache.hits, cache.misses
+        mem = run_queries(engine, queries)
+        mem_rate = hit_rate(cache, h0, m0)
+        engine.close()  # final checkpoint: the state a restart restores
+
+        cache2 = SkylineCache(
+            backend=DiskCacheBackend(cache_dir, fsync=False, checkpoint_every=None)
+        )
+        restored_items = cache2.backend.restored_items
+        engine2 = make_cbcs(data, cache=cache2)
+        warm = run_queries(engine2, queries)
+        warm_rate = hit_rate(cache2, 0, 0)
+        engine2.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    rows = [
+        ("cold", cold.mean_total_ms(), cold_rate, cold.mean_points_read()),
+        ("memory", mem.mean_total_ms(), mem_rate, mem.mean_points_read()),
+        ("warm", warm.mean_total_ms(), warm_rate, warm.mean_points_read()),
+    ]
+    from repro.obs import current as _current_obs
+
+    metrics = _current_obs().metrics
+    metrics.set_gauge("warmstart_cold_total_ms", cold.mean_total_ms())
+    metrics.set_gauge("warmstart_mem_total_ms", mem.mean_total_ms())
+    metrics.set_gauge("warmstart_warm_total_ms", warm.mean_total_ms())
+    metrics.set_gauge("warmstart_cold_hit_rate", cold_rate)
+    metrics.set_gauge("warmstart_mem_hit_rate", mem_rate)
+    metrics.set_gauge("warmstart_warm_hit_rate", warm_rate)
+    metrics.set_gauge("warmstart_restored_items", restored_items)
+
+    text = format_table(
+        ["phase", "avg ms", "hit rate", "points read"],
+        [
+            [name, f"{ms:.2f}", f"{rate:.1%}", f"{pr:.1f}"]
+            for name, ms, rate, pr in rows
+        ],
+        title=(
+            f"Cold vs warm start (|S|={n}, |D|={ndim}, {n_queries} queries, "
+            f"{restored_items} items restored)"
+        ),
+    )
+    return FigureReport(
+        figure="warmstart",
+        title="Warm restarts (persistent cache backend)",
+        text=text,
+        series={
+            "total_ms": {name: ms for name, ms, _, _ in rows},
+            "hit_rate": {name: rate for name, _, rate, _ in rows},
+            "restored_items": restored_items,
+        },
+    )
+
+
 def _lazy_ablation(name):
     """Defer the ablations import: that module imports this one for
     :class:`FigureReport`, so eager registration would be circular."""
@@ -521,6 +625,7 @@ ALL_EXPERIMENTS = {
     "fig11b": lambda: fig11_strategies("independent"),
     "fig12a": lambda: fig12_real_data("interactive"),
     "fig12b": lambda: fig12_real_data("independent"),
+    "warmstart": warmstart_restart,
 }
 ALL_EXPERIMENTS.update(
     {

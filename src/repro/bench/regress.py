@@ -37,6 +37,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.ioutil import atomic_write_json
+
 SCHEMA = "repro.bench.snapshot"
 SCHEMA_VERSION = 1
 
@@ -89,13 +91,28 @@ def summarize_registry(metrics) -> dict:
         else:
             misses += value
     lookups = hits + misses
-    return {
+    summary = {
         "methods": methods,
         "cache": {
             "lookups": lookups,
             "hit_rate": (hits / lookups) if lookups else None,
         },
     }
+    # The warm-restart figure exports its cold/memory/warm comparison as
+    # gauges; carry them into the snapshot so the trajectory records the
+    # cold-vs-warm gap alongside the per-method means.
+    cold_ms = metrics.gauge_value("warmstart_cold_total_ms")
+    if cold_ms is not None:
+        summary["warmstart"] = {
+            "cold_total_ms": cold_ms,
+            "mem_total_ms": metrics.gauge_value("warmstart_mem_total_ms"),
+            "warm_total_ms": metrics.gauge_value("warmstart_warm_total_ms"),
+            "cold_hit_rate": metrics.gauge_value("warmstart_cold_hit_rate"),
+            "mem_hit_rate": metrics.gauge_value("warmstart_mem_hit_rate"),
+            "warm_hit_rate": metrics.gauge_value("warmstart_warm_hit_rate"),
+            "restored_items": metrics.gauge_value("warmstart_restored_items"),
+        }
+    return summary
 
 
 def git_rev() -> Optional[str]:
@@ -155,8 +172,9 @@ def save_snapshot(snapshot: dict, path) -> str:
     if path.is_dir() or (not path.suffix and not path.exists()):
         path.mkdir(parents=True, exist_ok=True)
         path = path / default_snapshot_name(snapshot)
-    with open(path, "w") as handle:
-        json.dump(snapshot, handle, indent=2)
+    # Atomic: a crash mid-save must never leave a torn BENCH_*.json for a
+    # later --baseline run to choke on.
+    atomic_write_json(path, snapshot)
     return str(path)
 
 

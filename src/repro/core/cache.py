@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Literal, Optional
@@ -23,10 +24,29 @@ import numpy as np
 
 from repro.geometry.constraints import Constraints
 from repro.index.rtree import RTree
+from repro.ioutil import atomic_savez
 from repro.obs.correlate import current_query_id
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 
 ReplacementPolicy = Literal["lru", "lcu"]
+
+
+class CorruptCacheError(ValueError):
+    """A persisted cache archive failed integrity validation on load.
+
+    Sibling of :class:`repro.storage.table.CorruptTableError`: loading a
+    bit-flipped cache snapshot must raise, never silently hand back garbage
+    skylines that would poison every query pruning with them.
+    """
+
+
+def _cache_checksum(arrays: Dict[str, np.ndarray]) -> int:
+    """CRC32 over every payload array, in sorted-key order."""
+    crc = 0
+    for key in sorted(arrays):
+        crc = zlib.crc32(key.encode("utf-8"), crc)
+        crc = zlib.crc32(np.ascontiguousarray(arrays[key]).tobytes(), crc)
+    return crc
 
 
 @dataclass(eq=False)  # identity semantics: items are unique live objects
@@ -71,15 +91,34 @@ class SkylineCache:
         policy: ReplacementPolicy = "lru",
         rtree_max_entries: int = 16,
         metrics: Optional[MetricsRegistry] = None,
+        backend=None,
+        quarantine_log_cap: int = 64,
     ):
         """``capacity`` of None means unbounded (the paper's experiments
         never evict; replacement is exercised by our extension tests).
         ``metrics`` optionally mirrors the hit/miss/eviction counters into a
-        shared :class:`~repro.obs.metrics.MetricsRegistry`."""
+        shared :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        ``backend`` selects the persistence backend (see
+        :mod:`repro.core.cache_backend`): the default None is the in-memory
+        backend -- bit-identical to a backend-less cache -- while a
+        :class:`~repro.core.cache_backend.DiskCacheBackend` journals every
+        mutation to a WAL, checkpoints periodic snapshots, and *restores*
+        any persisted state into this cache right here in the constructor
+        (warm restart).
+
+        ``quarantine_log_cap`` bounds the quarantine ring buffer; events
+        beyond the cap drop the oldest entry and count into
+        ``quarantine_log_dropped`` / the
+        ``cache_quarantine_log_dropped_total`` metric, so a pathological
+        fault profile cannot grow memory without bound.
+        """
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be positive (or None for unbounded)")
         if policy not in ("lru", "lcu"):
             raise ValueError(f"unknown replacement policy {policy!r}")
+        if quarantine_log_cap < 1:
+            raise ValueError("quarantine_log_cap must be positive")
         self.capacity = capacity
         self.policy: ReplacementPolicy = policy
         self._rtree_max_entries = rtree_max_entries
@@ -100,8 +139,16 @@ class SkylineCache:
         self.quarantined = 0
         #: most recent quarantine events (item id, reason, correlated query
         #: id when one was bound) -- surfaced by :mod:`repro.obs.cacheview`
-        self.quarantine_log: deque = deque(maxlen=64)
+        self.quarantine_log: deque = deque(maxlen=quarantine_log_cap)
+        #: events evicted from the ring buffer by newer ones
+        self.quarantine_log_dropped = 0
         self.metrics = NULL_METRICS if metrics is None else metrics
+        if backend is None:
+            from repro.core.cache_backend import MemoryCacheBackend
+
+            backend = MemoryCacheBackend()
+        self.backend = backend
+        backend.attach(self)
 
     def bind_metrics(self, metrics: Optional[MetricsRegistry]) -> "SkylineCache":
         """Attach (or detach, with None) a shared metrics registry."""
@@ -135,6 +182,7 @@ class SkylineCache:
                     self._reindex(item, skyline)
                     self.refreshes += 1
                     self.metrics.inc("cache_refreshes_total")
+                    self.backend.record_put(item)
                 self.touch(item)
                 return item
 
@@ -156,6 +204,7 @@ class SkylineCache:
             self._index.insert(item.mbr_lo, item.mbr_hi, item.item_id)
             self.insertions += 1
             self.metrics.inc("cache_insertions_total")
+            self.backend.record_put(item)
             self._evict_if_needed()
             self.metrics.set_gauge("cache_items", len(self._items))
             return item
@@ -176,6 +225,9 @@ class SkylineCache:
             if refreshed is not None:
                 refreshed.use_count = item.use_count
                 refreshed.last_used = item.last_used
+                # Re-journal with the carried-over counters so a warm
+                # restart restores the same LRU/LCU ordering.
+                self.backend.record_put(refreshed)
             return refreshed
 
     def touch(self, item: CacheItem, case: Optional[str] = None) -> None:
@@ -209,6 +261,7 @@ class SkylineCache:
             self._items.clear()
             self._by_constraints.clear()
             self._index = None
+            self.backend.record_clear()
         self.metrics.set_gauge("cache_items", 0)
 
     # ------------------------------------------------------------------
@@ -313,6 +366,12 @@ class SkylineCache:
             if not removed:
                 self._rebuild_index()
             self.quarantined += 1
+            if len(self.quarantine_log) == self.quarantine_log.maxlen:
+                # Ring buffer full: the append below evicts the oldest
+                # event.  Count the drop so introspection can say the log
+                # is a window, not the full history.
+                self.quarantine_log_dropped += 1
+                self.metrics.inc("cache_quarantine_log_dropped_total")
             self.quarantine_log.append(
                 {
                     "item_id": item.item_id,
@@ -320,6 +379,7 @@ class SkylineCache:
                     "query_id": current_query_id(),
                 }
             )
+            self.backend.record_del(item)
         self.metrics.inc("cache_quarantined_total", reason=reason)
         self.metrics.set_gauge("cache_items", len(self._items))
 
@@ -364,7 +424,16 @@ class SkylineCache:
             "evictions": self.evictions,
             "refreshes": self.refreshes,
             "quarantined": self.quarantined,
+            "quarantine_log_dropped": self.quarantine_log_dropped,
         }
+
+    def checkpoint(self) -> None:
+        """Ask the backend to snapshot now (no-op for the memory backend)."""
+        self.backend.checkpoint()
+
+    def close(self) -> None:
+        """Flush and close the persistence backend (memory backend: no-op)."""
+        self.backend.close()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -376,9 +445,8 @@ class SkylineCache:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path) -> None:
-        """Save every cached item (constraints, skyline, use counters) to
-        ``.npz`` so a service can restart with a warm semantic cache."""
+    def _snapshot_arrays(self) -> Dict[str, np.ndarray]:
+        """The archive payload for :meth:`save` (caller holds no lock)."""
         with self._lock:
             arrays = {
                 "n_items": np.array(len(self._items)),
@@ -396,26 +464,120 @@ class SkylineCache:
                 arrays[f"meta_{i}"] = np.array(
                     [item.inserted_at, item.last_used, item.use_count]
                 )
-        np.savez_compressed(path, **arrays)
+        return arrays
+
+    def save(self, path, crashpoint=None) -> None:
+        """Save every cached item (constraints, skyline, use counters) to
+        ``.npz`` so a service can restart with a warm semantic cache.
+
+        The archive carries a CRC32 checksum over the payload (validated by
+        :meth:`load`) and is written atomically (temp file + rename), so a
+        crash mid-save leaves the previous snapshot intact and a
+        bit-flipped snapshot is rejected instead of silently loaded.
+        """
+        arrays = self._snapshot_arrays()
+        arrays["checksum"] = np.array(_cache_checksum(arrays), dtype=np.uint32)
+        atomic_savez(path, crashpoint=crashpoint, point="cache.snapshot", **arrays)
+
+    @staticmethod
+    def _validated_archive_items(archive, path):
+        """Yield ``(constraints, skyline, meta)`` after integrity checks."""
+        for key in ("n_items", "capacity", "policy"):
+            if key not in archive.files:
+                raise CorruptCacheError(
+                    f"cache archive {path} is missing required key {key!r}"
+                )
+        if "checksum" in archive.files:
+            payload = {
+                key: np.asarray(archive[key])
+                for key in archive.files
+                if key != "checksum"
+            }
+            stored = int(archive["checksum"])
+            actual = _cache_checksum(payload)
+            if stored != actual:
+                raise CorruptCacheError(
+                    f"cache archive {path}: checksum mismatch "
+                    f"(stored {stored:#010x}, computed {actual:#010x})"
+                )
+        for i in range(int(archive["n_items"])):
+            for key in (f"lo_{i}", f"hi_{i}", f"sky_{i}", f"meta_{i}"):
+                if key not in archive.files:
+                    raise CorruptCacheError(
+                        f"cache archive {path} is missing item key {key!r}"
+                    )
+            sky = np.asarray(archive[f"sky_{i}"])
+            if sky.ndim != 2 or not np.isfinite(sky).all():
+                raise CorruptCacheError(
+                    f"cache archive {path}: item {i} has a malformed or "
+                    "non-finite skyline"
+                )
+            yield (
+                Constraints(archive[f"lo_{i}"], archive[f"hi_{i}"]),
+                sky,
+                archive[f"meta_{i}"],
+            )
+
+    def load_into(self, path) -> int:
+        """Merge a saved archive's items into this cache; returns #loaded.
+
+        Used by the persistent backend's warm restart; raises
+        :class:`CorruptCacheError` on any integrity failure *before*
+        mutating the cache.
+        """
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                loaded = list(self._validated_archive_items(archive, path))
+        except Exception as exc:
+            # A flipped byte in the zip container can surface almost any
+            # stdlib exception type (BadZipFile, zlib.error, EOFError,
+            # NotImplementedError, ...); any parse failure IS corruption.
+            if isinstance(exc, CorruptCacheError):
+                raise
+            raise CorruptCacheError(
+                f"cache archive {path} is unreadable: {exc}"
+            ) from exc
+        for constraints, sky, meta in loaded:
+            item = self.insert(constraints, sky)
+            inserted_at, last_used, use_count = meta
+            item.inserted_at = int(inserted_at)
+            item.last_used = int(last_used)
+            item.use_count = int(use_count)
+        return len(loaded)
 
     @classmethod
     def load(cls, path) -> "SkylineCache":
-        """Load a cache saved with :meth:`save`."""
-        with np.load(path, allow_pickle=False) as archive:
-            capacity = int(archive["capacity"])
-            cache = cls(
-                capacity=None if capacity < 0 else capacity,
-                policy=str(archive["policy"]),
-            )
-            for i in range(int(archive["n_items"])):
-                item = cache.insert(
-                    Constraints(archive[f"lo_{i}"], archive[f"hi_{i}"]),
-                    archive[f"sky_{i}"],
+        """Load a cache saved with :meth:`save`.
+
+        Raises :class:`CorruptCacheError` when the archive is unreadable,
+        missing keys, carries malformed skylines, or fails its stored
+        checksum.  Archives written before checksums existed (no
+        ``checksum`` key) are accepted after the structural checks.
+        """
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                capacity = int(archive["capacity"])
+                cache = cls(
+                    capacity=None if capacity < 0 else capacity,
+                    policy=str(archive["policy"]),
                 )
-                inserted_at, last_used, use_count = archive[f"meta_{i}"]
-                item.inserted_at = int(inserted_at)
-                item.last_used = int(last_used)
-                item.use_count = int(use_count)
+                for constraints, sky, meta in cls._validated_archive_items(
+                    archive, path
+                ):
+                    item = cache.insert(constraints, sky)
+                    inserted_at, last_used, use_count = meta
+                    item.inserted_at = int(inserted_at)
+                    item.last_used = int(last_used)
+                    item.use_count = int(use_count)
+        except Exception as exc:
+            # A flipped byte in the zip container can surface almost any
+            # stdlib exception type (BadZipFile, zlib.error, EOFError,
+            # NotImplementedError, ...); any parse failure IS corruption.
+            if isinstance(exc, CorruptCacheError):
+                raise
+            raise CorruptCacheError(
+                f"cache archive {path} is unreadable: {exc}"
+            ) from exc
         return cache
 
     # ------------------------------------------------------------------
@@ -439,3 +601,4 @@ class SkylineCache:
         removed = self._index.delete(item.mbr_lo, item.mbr_hi, item.item_id)
         if not removed:
             raise RuntimeError("cache index out of sync with item store")
+        self.backend.record_del(item)

@@ -149,8 +149,14 @@ class CBCS:
         return f"CBCS[{self.region.name}]"
 
     def close(self) -> None:
-        """Release the executor's worker pool (no-op when serial)."""
+        """Release the executor's worker pool and flush the cache backend.
+
+        With the default in-memory cache backend both steps are no-ops; a
+        persistent backend takes a final checkpoint so the next start is
+        warm.
+        """
         self.executor.close()
+        self.cache.close()
 
     # ------------------------------------------------------------------
     # Querying

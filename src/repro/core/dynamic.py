@@ -1,4 +1,4 @@
-"""Dynamic data support (paper Section 6.2).
+"""Dynamic data support (paper Section 6.2) with an optional durable write path.
 
 "Dynamic data can be supported by viewing each cache item as a separate
 dataset with a continuous skyline query maintained by any existing method."
@@ -19,17 +19,26 @@ The paper defers the evaluation; this module implements the mechanism:
 :class:`DynamicCBCS` wires the maintenance into the engine so that queries
 interleaved with updates stay exact -- verified against brute force in
 ``tests/core/test_dynamic.py``.
+
+Durability.  With ``durability=`` set (a directory or a
+:class:`~repro.storage.durability.DurabilityManager`), every update batch
+is WAL-logged *before* it is applied -- the PostgreSQL write path -- and
+:meth:`DynamicCBCS.recover` rebuilds a crashed engine from the last
+checkpoint plus the log tail, provably converging to the committed
+pre-crash state (asserted bit-exactly by :mod:`repro.bench.crashdrill`).
 """
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Literal, Optional
 
 import numpy as np
 
 from repro.core.cbcs import CBCS
 from repro.geometry.dominance import dominated_mask
+from repro.resilience import DEGRADABLE
 from repro.skyline.sfs import sfs_skyline
+from repro.storage.durability import DurabilityManager
 
 DeletePolicy = Literal["refresh", "evict"]
 
@@ -40,33 +49,127 @@ class DynamicCBCS(CBCS):
     ``on_delete`` selects the maintenance of items that lose a skyline
     point: ``"refresh"`` recomputes the item from the table (keeps the cache
     warm at the cost of one range query), ``"evict"`` simply drops it.
+
+    ``durability`` enables the WAL-backed write path: a directory (or a
+    prepared :class:`~repro.storage.durability.DurabilityManager`) where
+    update batches are journaled before they apply and the table is
+    checkpointed.  The default ``None`` keeps updates in-memory only,
+    bit-identical to the historic behavior.
     """
 
-    def __init__(self, *args, on_delete: DeletePolicy = "refresh", **kwargs):
+    def __init__(
+        self,
+        *args,
+        on_delete: DeletePolicy = "refresh",
+        durability=None,
+        **kwargs,
+    ):
         super().__init__(*args, **kwargs)
         if on_delete not in ("refresh", "evict"):
             raise ValueError(f"unknown delete policy {on_delete!r}")
         self.on_delete: DeletePolicy = on_delete
+        if durability is not None and not isinstance(durability, DurabilityManager):
+            durability = DurabilityManager(durability)
+        self.durability: Optional[DurabilityManager] = durability
+        #: set by :meth:`recover` on recovered engines
+        self.recovery_report = None
+        if self.durability is not None:
+            # A fresh durability directory needs the base snapshot:
+            # recovery rebuilds "checkpoint + tail", never from nothing.
+            self.durability.ensure_checkpoint(self.table)
 
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
     def insert_points(self, rows: np.ndarray) -> np.ndarray:
-        """Append rows to the table and maintain every affected cache item."""
+        """Append rows to the table and maintain every affected cache item.
+
+        With durability on, the batch is WAL-logged (and fsynced) first;
+        the update is committed the moment the log record is durable.
+        """
         rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        if rows.shape[1] != self.table.ndim:
+            raise ValueError("inserted rows must match the table's dimensionality")
+        if rows.size and not np.isfinite(rows).all():
+            raise ValueError("inserted rows must be finite")
+        if self.durability is not None:
+            self.durability.log_insert(rows, start=self.table.n)
         new_ids = self.table.append(rows)
         for row in rows:
             self._maintain_insert(row)
+        if self.durability is not None:
+            self.durability.maybe_checkpoint(self.table)
         return new_ids
 
     def delete_points(self, rowids) -> int:
         """Delete table rows and maintain every affected cache item."""
         rowids = np.atleast_1d(np.asarray(rowids, dtype=np.int64))
+        # Reading the coordinates first also validates the row ids, so an
+        # invalid request fails before anything reaches the WAL.
         coords = [self.table.row(int(r)) for r in rowids]
+        if self.durability is not None:
+            self.durability.log_delete(rowids, np.asarray(coords))
         killed = self.table.delete(rowids)
         for row in coords:
             self._maintain_delete(np.asarray(row))
+        if self.durability is not None:
+            self.durability.maybe_checkpoint(self.table)
         return killed
+
+    # ------------------------------------------------------------------
+    # Durability lifecycle
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Checkpoint the table (and the cache's backend, if persistent)."""
+        if self.durability is not None:
+            self.durability.checkpoint(self.table)
+        self.cache.checkpoint()
+
+    def close(self) -> None:
+        """Checkpoint durable state, close the WAL, release the executor."""
+        if self.durability is not None:
+            self.durability.close(self.table)
+        super().close()
+
+    @classmethod
+    def recover(cls, source, table_wrapper=None, **kwargs) -> "DynamicCBCS":
+        """Rebuild a durable engine after a crash.
+
+        ``source`` is the durability directory (or a prepared
+        :class:`~repro.storage.durability.DurabilityManager`, e.g. one
+        carrying the drill's fault injector); remaining ``kwargs`` go to
+        the engine constructor (cache, resilience, workers, ...).
+        ``table_wrapper`` optionally re-wraps the recovered table (e.g. in
+        a :class:`~repro.storage.faults.FaultyDiskTable`) before the
+        engine adopts it.
+
+        Recovery: load the last table checkpoint, replay the WAL tail
+        (torn tail truncated), then *reconcile the cache* -- every cache
+        item whose region contains a replayed row is dropped, because the
+        crash may have swallowed that item's in-memory maintenance.  Over-
+        evicting costs a cache miss; under-evicting would serve stale
+        skylines, so reconciliation always errs on eviction.  The
+        :class:`~repro.storage.durability.RecoveryReport` lands on
+        ``engine.recovery_report``.
+        """
+        manager = (
+            source
+            if isinstance(source, DurabilityManager)
+            else DurabilityManager(source)
+        )
+        table, report = manager.recover()
+        if table_wrapper is not None:
+            table = table_wrapper(table)
+        engine = cls(table, durability=manager, **kwargs)
+        for _op, rows in report.replayed:
+            for row in np.atleast_2d(rows):
+                for item in list(engine.cache):
+                    if item.constraints.satisfies(row):
+                        engine.cache.remove(item)
+        engine.recovery_report = report
+        # Seal the recovered state so the next restart replays nothing.
+        manager.checkpoint(engine.table)
+        return engine
 
     # ------------------------------------------------------------------
     # Per-item continuous skyline maintenance
@@ -92,8 +195,15 @@ class DynamicCBCS(CBCS):
             if self.on_delete == "evict":
                 self._evict_item(item)
                 continue
-            # refresh: one range query re-derives the item's skyline
-            result = self.table.range_query(item.constraints.region())
+            # refresh: one range query re-derives the item's skyline.  The
+            # fetch runs through the engine's storage stack, so with
+            # resilience on it is validated and retried; a refresh that
+            # still fails falls back to eviction (a miss, never staleness).
+            try:
+                result = self.backend.range_query(item.constraints.region())
+            except DEGRADABLE:
+                self._evict_item(item)
+                continue
             new_sky = result.points[sfs_skyline(result.points)]
             if len(new_sky):
                 self._replace_item(item, new_sky)

@@ -138,8 +138,10 @@ class CalibrationLedger:
                 )
 
     def save_json(self, path) -> None:
-        with open(path, "w") as handle:
-            json.dump(self.summary(), handle, indent=2)
+        """Write :meth:`summary` to ``path`` atomically (temp + rename)."""
+        from repro.ioutil import atomic_write_json
+
+        atomic_write_json(path, self.summary())
 
 
 def render_calibration(summary: dict) -> str:

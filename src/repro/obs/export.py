@@ -130,9 +130,10 @@ def render_openmetrics(metrics, prefix: str = "repro_") -> str:
 
 
 def save_openmetrics(metrics, path, prefix: str = "repro_") -> None:
-    """Write :func:`render_openmetrics` output to ``path``."""
-    with open(path, "w") as handle:
-        handle.write(render_openmetrics(metrics, prefix=prefix))
+    """Write :func:`render_openmetrics` output to ``path`` (atomically)."""
+    from repro.ioutil import atomic_write_text
+
+    atomic_write_text(path, render_openmetrics(metrics, prefix=prefix))
 
 
 def main(argv=None) -> int:

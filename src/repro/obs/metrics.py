@@ -241,11 +241,15 @@ class MetricsRegistry:
         }
 
     def save_json(self, path) -> None:
-        """Write :meth:`as_dict` to ``path`` as indented, versioned JSON."""
+        """Write :meth:`as_dict` to ``path`` as indented, versioned JSON.
+
+        The write is atomic (temp file + rename): a crash mid-export leaves
+        the previous artifact intact, never a torn half-JSON.
+        """
+        from repro.ioutil import atomic_write_json
         from repro.obs.schema import stamp
 
-        with open(path, "w") as handle:
-            json.dump(stamp(self.as_dict()), handle, indent=2)
+        atomic_write_json(path, stamp(self.as_dict()))
 
     def __repr__(self) -> str:
         return (

@@ -41,6 +41,36 @@ class TransientStorageError(IOError):
     """A storage operation failed in a way that a retry may fix."""
 
 
+class SimulatedCrash(BaseException):
+    """The process "died" at an armed crash point.
+
+    Raised by durable-write sites (WAL append/fsync, checkpoint commit,
+    cache snapshot commit) when the fault injector has armed that point.
+    Deliberately *not* an :class:`Exception`: nothing in the engine --
+    retry loops, the degradation ladder, the chaos soak's catch-all --
+    may swallow a crash; only the crash-recovery drill's harness catches
+    it, models the process death, and drives ``recover()``.
+    """
+
+    def __init__(self, point: str):
+        super().__init__(f"simulated crash at {point}")
+        self.point = point
+
+
+@dataclass(frozen=True)
+class CrashOrder:
+    """The injector's verdict at one armed crash point.
+
+    ``torn_fraction`` is None for a clean crash (die before the write);
+    a value in (0, 1) orders a *torn write*: the site persists only that
+    prefix of the frame's bytes -- modelling a partial fsync / torn sector
+    -- and then dies.  Replay must detect the torn tail by CRC.
+    """
+
+    point: str
+    torn_fraction: Optional[float] = None
+
+
 #: Fault kinds, in the fixed order the injector's single uniform draw walks.
 FAULT_KINDS = ("transient_io", "latency", "truncate", "corrupt")
 
@@ -153,6 +183,10 @@ class FaultInjector:
         self.trace: List[FaultEvent] = []
         self.metrics = NULL_METRICS if metrics is None else metrics
         self._outage_remaining = 0
+        #: armed crash points: point -> [remaining_hits, torn_fraction]
+        self._crashes: dict = {}
+        #: every crash order fired, for drill reporting/replay audits
+        self.crash_trace: List[CrashOrder] = []
         # Guards the PRNG, call counter, trace, and outage budget so
         # concurrent executor workers draw verdicts without corruption.
         self._lock = threading.RLock()
@@ -180,6 +214,61 @@ class FaultInjector:
     @property
     def in_outage(self) -> bool:
         return self._outage_remaining > 0
+
+    # ------------------------------------------------------------------
+    # Crash points (crash-recovery drills)
+    # ------------------------------------------------------------------
+    def arm_crash(
+        self,
+        point: str,
+        after: int = 0,
+        torn_fraction: Optional[float] = None,
+    ) -> None:
+        """Arm ``point`` to fire a :class:`SimulatedCrash` on a future hit.
+
+        ``after`` skips that many hits first (0 = the very next one), so a
+        drill can seed the crash mid-sequence deterministically.  With a
+        ``torn_fraction`` in (0, 1) the site is ordered to persist only
+        that prefix of its frame before dying -- a torn write.  Each armed
+        point fires exactly once, then disarms.
+        """
+        if after < 0:
+            raise ValueError("after must be non-negative")
+        if torn_fraction is not None and not 0.0 < torn_fraction < 1.0:
+            raise ValueError("torn_fraction must be in (0, 1)")
+        with self._lock:
+            self._crashes[point] = [after, torn_fraction]
+
+    def disarm_crashes(self) -> None:
+        """Disarm every pending crash point."""
+        with self._lock:
+            self._crashes.clear()
+
+    def crashpoint(self, point: str) -> Optional[CrashOrder]:
+        """Consult the injector at a named crash point.
+
+        Returns None (carry on) or a :class:`CrashOrder`.  Sites that
+        support torn writes inspect ``torn_fraction``, persist the ordered
+        prefix, then raise :class:`SimulatedCrash`; plain sites raise
+        immediately.  :func:`crash_check` wraps the plain case.
+        """
+        with self._lock:
+            armed = self._crashes.get(point)
+            if armed is None:
+                return None
+            if armed[0] > 0:
+                armed[0] -= 1
+                return None
+            del self._crashes[point]
+            order = CrashOrder(point=point, torn_fraction=armed[1])
+            self.crash_trace.append(order)
+        self.metrics.inc("crashes_injected_total", point=point)
+        return order
+
+    def crash_check(self, point: str) -> None:
+        """Raise :class:`SimulatedCrash` if ``point`` is armed and due."""
+        if self.crashpoint(point) is not None:
+            raise SimulatedCrash(point)
 
     # ------------------------------------------------------------------
     # Verdicts

@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.geometry.box import Box
 from repro.index.btree import BPlusTree
+from repro.ioutil import atomic_savez
 from repro.obs import NULL_OBS
 from repro.storage.costmodel import DiskCostModel
 from repro.storage.pager import BufferPool, IOStats, page_runs
@@ -410,16 +411,23 @@ class DiskTable:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path) -> None:
+    def save(self, path, crashpoint=None) -> None:
         """Save the table (rows, tombstones, schema, cost model) to ``.npz``.
 
         Indexes are rebuilt on load; vacuumed-away index entries therefore
         reappear as vacuumable tombstones, with identical query behaviour.
         A CRC32 checksum over the heap payload and tombstone bitmap is
         stored and verified by :meth:`load`.
+
+        The archive is committed atomically (temp file + rename), so a
+        crash mid-save leaves the previous checkpoint intact;
+        ``crashpoint`` threads the fault injector's seeded crash hook into
+        the commit (point ``"table.checkpoint"``) for the recovery drill.
         """
-        np.savez_compressed(
+        atomic_savez(
             path,
+            crashpoint=crashpoint,
+            point="table.checkpoint",
             data=self._data,
             alive=self._alive,
             checksum=np.array(

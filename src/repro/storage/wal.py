@@ -1,0 +1,335 @@
+"""An append-only write-ahead log with CRC framing and torn-write recovery.
+
+The durability playbook is PostgreSQL's (see ``docs/robustness.md``): every
+state mutation is appended to the log -- and fsynced -- *before* it is
+applied to the in-memory structures, so after a crash the last checkpoint
+plus the log tail reconstructs the exact pre-crash state.
+
+Physical format.  The log is a directory of segment files
+(``wal-00000001.log``, ``wal-00000002.log``, ...).  Each record is framed
+
+    [lsn u64][length u32][crc u32][payload bytes]
+
+with the CRC32 computed over ``lsn || length || payload``, so a bit flip in
+either the header or the payload is detected.  LSNs (log sequence numbers)
+are assigned densely from 1 by :meth:`WriteAheadLog.append`.
+
+Torn writes.  A crash can leave a partial record at the end of the last
+segment (a torn write / partial fsync).  :meth:`WriteAheadLog.replay` stops
+at the first frame that is short or fails its CRC and reports it via
+``tail_status``; reopening the log for append truncates the torn tail to
+the last valid record boundary, exactly like PostgreSQL treating the first
+invalid record as end-of-log.  A *mid-file* CRC mismatch (valid frames
+following a bad one) is real corruption, not a torn tail, and raises
+:class:`CorruptWALError`.
+
+Rotation and compaction.  :meth:`rotate` seals the active segment and
+starts the next; :meth:`prune` deletes sealed segments whose records are
+all covered by a checkpoint.  The checkpointing side
+(:class:`repro.storage.durability.DurabilityManager`,
+:class:`repro.core.cache_backend.DiskCacheBackend`) calls both after each
+successful checkpoint, bounding log size.
+
+Crash points.  An optional fault ``injector``
+(:class:`~repro.storage.faults.FaultInjector`) is consulted at
+``wal.append`` (before the frame is written; a torn order persists only a
+prefix of the frame) and ``wal.fsync`` (frame written, fsync "lost"),
+making the crash-recovery drill's schedules seeded and replayable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+from repro.storage.faults import SimulatedCrash
+
+__all__ = ["CorruptWALError", "WalRecord", "WriteAheadLog"]
+
+#: ``[lsn u64][length u32][crc u32]``
+_HEADER = struct.Struct("<QII")
+#: Sanity bound on one record's payload (a malformed length field must not
+#: make replay attempt a multi-gigabyte read).
+_MAX_PAYLOAD = 1 << 28
+_SEGMENT_GLOB = "wal-*.log"
+
+
+class CorruptWALError(ValueError):
+    """A WAL segment failed integrity validation *before* its tail.
+
+    Sibling of :class:`repro.storage.table.CorruptTableError` and
+    :class:`repro.core.cache.CorruptCacheError`: an invalid frame followed
+    by valid data is bit rot, not a torn write, and recovery must not
+    silently drop the suffix.
+    """
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One replayed record: its LSN and decoded JSON payload."""
+
+    lsn: int
+    payload: dict
+
+
+def _frame(lsn: int, payload: bytes) -> bytes:
+    crc = zlib.crc32(struct.pack("<QI", lsn, len(payload)) + payload)
+    return _HEADER.pack(lsn, len(payload), crc) + payload
+
+
+def _segment_path(directory: Path, seq: int) -> Path:
+    return directory / f"wal-{seq:08d}.log"
+
+
+def _segment_seq(path: Path) -> int:
+    return int(path.stem.split("-", 1)[1])
+
+
+def _scan_segment(path: Path) -> Tuple[List[Tuple[int, bytes]], int, str]:
+    """Parse one segment; returns ``(records, valid_bytes, tail_status)``.
+
+    ``tail_status`` is ``"clean"`` (file ends exactly on a record boundary)
+    or ``"torn"`` (trailing partial/invalid frame).  Raises
+    :class:`CorruptWALError` if a bad frame is *followed* by a valid one.
+    """
+    blob = path.read_bytes()
+    records: List[Tuple[int, bytes]] = []
+    offset = 0
+    while True:
+        if offset == len(blob):
+            return records, offset, "clean"
+        if len(blob) - offset < _HEADER.size:
+            break  # short header: torn tail
+        lsn, length, crc = _HEADER.unpack_from(blob, offset)
+        if length > _MAX_PAYLOAD:
+            break  # absurd length: treat the frame as garbage
+        start = offset + _HEADER.size
+        payload = blob[start : start + length]
+        if len(payload) < length:
+            break  # short payload: torn tail
+        if zlib.crc32(struct.pack("<QI", lsn, length) + payload) != crc:
+            break  # CRC mismatch: torn (if at the tail) or corrupt
+        records.append((lsn, payload))
+        offset = start + length
+    # The frame at ``offset`` is invalid.  If anything beyond it parses as
+    # a valid frame, this is mid-file corruption, not a torn tail.
+    for probe in range(offset + 1, len(blob) - _HEADER.size + 1):
+        lsn, length, crc = _HEADER.unpack_from(blob, probe)
+        if length > _MAX_PAYLOAD:
+            continue
+        start = probe + _HEADER.size
+        payload = blob[start : start + length]
+        if len(payload) == length and zlib.crc32(
+            struct.pack("<QI", lsn, length) + payload
+        ) == crc:
+            raise CorruptWALError(
+                f"WAL segment {path}: invalid frame at byte {offset} is "
+                f"followed by a valid frame at byte {probe} -- corruption, "
+                "not a torn tail"
+            )
+    return records, offset, "torn"
+
+
+class WriteAheadLog:
+    """Append-only, CRC-framed, segmented write-ahead log.
+
+    ``fsync=True`` (the default) makes :meth:`append` durable before it
+    returns -- the commit point.  ``fsync=False`` trades durability of the
+    last few records for speed (still torn-write safe on replay); tests and
+    quick benchmarks use it.
+    """
+
+    def __init__(self, directory, fsync: bool = True, injector=None, metrics=None):
+        from repro.obs.metrics import NULL_METRICS
+
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = bool(fsync)
+        self.injector = injector
+        self.metrics = NULL_METRICS if metrics is None else metrics
+        #: tail state observed while opening (surfaced in recovery reports)
+        self.opened_tail_status = "clean"
+        self._handle = None
+        self._open_existing()
+
+    # ------------------------------------------------------------------
+    # Opening / recovery scan
+    # ------------------------------------------------------------------
+    def _segments(self) -> List[Path]:
+        return sorted(self.directory.glob(_SEGMENT_GLOB), key=_segment_seq)
+
+    def _open_existing(self) -> None:
+        """Scan existing segments, truncate any torn tail, position append."""
+        segments = self._segments()
+        self.last_lsn = 0
+        if not segments:
+            self._active_seq = 1
+            self._active_path = _segment_path(self.directory, 1)
+            self._active_path.touch()
+            return
+        for path in segments[:-1]:
+            records, _, tail = _scan_segment(path)
+            if tail != "clean":
+                raise CorruptWALError(
+                    f"WAL segment {path}: torn tail in a sealed (non-final) "
+                    "segment -- segments are only ever appended to while last"
+                )
+            if records:
+                self.last_lsn = records[-1][0]
+        tail_path = segments[-1]
+        records, valid_bytes, tail = _scan_segment(tail_path)
+        if records:
+            self.last_lsn = records[-1][0]
+        self.opened_tail_status = tail
+        if tail == "torn":
+            # Truncate to the last valid record boundary so future appends
+            # never interleave with garbage.
+            with open(tail_path, "rb+") as handle:
+                handle.truncate(valid_bytes)
+            self.metrics.inc("wal_torn_tails_truncated_total")
+        self._active_seq = _segment_seq(tail_path)
+        self._active_path = tail_path
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def _ensure_handle(self):
+        if self._handle is None:
+            self._handle = open(self._active_path, "ab")
+        return self._handle
+
+    def append(self, payload: dict) -> int:
+        """Append one JSON-serializable record; returns its LSN.
+
+        The record is durable (written, and fsynced when ``fsync=True``)
+        when this returns -- the WAL contract callers rely on to apply the
+        mutation only after logging it.
+        """
+        data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        lsn = self.last_lsn + 1
+        frame = _frame(lsn, data)
+        handle = self._ensure_handle()
+        order = (
+            self.injector.crashpoint("wal.append")
+            if self.injector is not None
+            else None
+        )
+        if order is not None:
+            if order.torn_fraction is not None:
+                # Torn write: persist only a prefix of the frame, then die.
+                handle.write(frame[: max(1, int(len(frame) * order.torn_fraction))])
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            raise SimulatedCrash(order.point)
+        handle.write(frame)
+        handle.flush()
+        if self.injector is not None:
+            self.injector.crash_check("wal.fsync")
+        if self.fsync:
+            os.fsync(handle.fileno())
+            self.metrics.inc("wal_fsyncs_total")
+        self.last_lsn = lsn
+        self.metrics.inc("wal_records_total")
+        self.metrics.inc("wal_bytes_total", len(frame))
+        return lsn
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(self, after_lsn: int = 0) -> Iterator[WalRecord]:
+        """Yield every valid record with ``lsn > after_lsn``, in order.
+
+        Stops at a torn tail (see :attr:`tail_status` afterwards); raises
+        :class:`CorruptWALError` on mid-file corruption or an undecodable
+        payload that passed its CRC (impossible short of a bug, so loud).
+        """
+        self.tail_status = "clean"
+        segments = self._segments()
+        for i, path in enumerate(segments):
+            records, _, tail = _scan_segment(path)
+            if tail == "torn":
+                if i != len(segments) - 1:
+                    raise CorruptWALError(
+                        f"WAL segment {path}: torn tail in a sealed segment"
+                    )
+                self.tail_status = "torn"
+            for lsn, payload in records:
+                if lsn <= after_lsn:
+                    continue
+                try:
+                    decoded = json.loads(payload.decode("utf-8"))
+                except ValueError as exc:
+                    raise CorruptWALError(
+                        f"WAL segment {path}: record lsn={lsn} passed its "
+                        f"CRC but is not valid JSON: {exc}"
+                    ) from exc
+                yield WalRecord(lsn=lsn, payload=decoded)
+
+    def records(self, after_lsn: int = 0) -> List[WalRecord]:
+        """Eager :meth:`replay` (sets :attr:`tail_status` before returning)."""
+        return list(self.replay(after_lsn=after_lsn))
+
+    # ------------------------------------------------------------------
+    # Rotation / compaction
+    # ------------------------------------------------------------------
+    def rotate(self) -> Path:
+        """Seal the active segment and open the next; returns the new path."""
+        self.close_handle()
+        self._active_seq += 1
+        self._active_path = _segment_path(self.directory, self._active_seq)
+        self._active_path.touch()
+        self.metrics.inc("wal_rotations_total")
+        return self._active_path
+
+    def prune(self, upto_lsn: int) -> int:
+        """Delete sealed segments whose records all have ``lsn <= upto_lsn``.
+
+        The active segment is never deleted.  Returns how many segments
+        were removed.  Call after a checkpoint with the checkpoint's LSN.
+        """
+        removed = 0
+        for path in self._segments():
+            if path == self._active_path:
+                continue
+            records, _, _ = _scan_segment(path)
+            if records and records[-1][0] > upto_lsn:
+                continue
+            path.unlink()
+            removed += 1
+        if removed:
+            self.metrics.inc("wal_segments_pruned_total", removed)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        """Total bytes across all live segments."""
+        return sum(p.stat().st_size for p in self._segments())
+
+    def close_handle(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def close(self) -> None:
+        self.close_handle()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog({str(self.directory)!r}, last_lsn={self.last_lsn}, "
+            f"segments={len(self._segments())}, fsync={self.fsync})"
+        )

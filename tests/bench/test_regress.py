@@ -59,6 +59,21 @@ class TestSummarizeRegistry:
         summary = summarize_registry(MetricsRegistry())
         assert summary["methods"] == {}
         assert summary["cache"]["hit_rate"] is None
+        assert "warmstart" not in summary
+
+    def test_warmstart_gauges_become_snapshot_section(self):
+        reg = registry_for()
+        reg.set_gauge("warmstart_cold_total_ms", 30.0)
+        reg.set_gauge("warmstart_mem_total_ms", 0.5)
+        reg.set_gauge("warmstart_warm_total_ms", 0.6)
+        reg.set_gauge("warmstart_cold_hit_rate", 0.8)
+        reg.set_gauge("warmstart_mem_hit_rate", 1.0)
+        reg.set_gauge("warmstart_warm_hit_rate", 1.0)
+        reg.set_gauge("warmstart_restored_items", 12)
+        section = summarize_registry(reg)["warmstart"]
+        assert section["cold_total_ms"] == pytest.approx(30.0)
+        assert section["warm_total_ms"] == pytest.approx(0.6)
+        assert section["restored_items"] == pytest.approx(12)
 
 
 class TestSnapshotIO:
@@ -231,3 +246,21 @@ class TestRegressCli:
         assert main([base, other_scale]) == 2
         assert main([base, other_scale, "--allow-scale-mismatch"]) == 0
         assert main(["--bogus"]) == 2
+
+    def test_truncated_snapshot_reported_not_raised(self, tmp_path, capsys):
+        """S1: a snapshot cut mid-write (pre-atomic-writes failure mode)
+        must surface as a diagnostic + exit 2, never a raw traceback."""
+        base = self.write(tmp_path, "a.json")
+        truncated = tmp_path / "truncated.json"
+        blob = json.dumps(snapshot_for(run_id="new"))
+        truncated.write_text(blob[: len(blob) // 2])
+        assert main([base, str(truncated)]) == 2
+        out = capsys.readouterr().out
+        assert "truncated.json" in out
+
+    def test_load_truncated_file_raises_snapshot_error(self, tmp_path):
+        path = tmp_path / "snap.json"
+        blob = json.dumps(snapshot_for())
+        path.write_text(blob[: len(blob) // 3])
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)

@@ -1,0 +1,283 @@
+"""Cache persistence backends: memory no-op parity, disk warm restart,
+corrupt-snapshot policies, checksum round trips, quarantine-log bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CorruptCacheError, SkylineCache
+from repro.core.cache_backend import DiskCacheBackend, MemoryCacheBackend
+from repro.geometry.constraints import Constraints
+from repro.obs.metrics import MetricsRegistry
+
+
+def _box(lo, hi, d=3):
+    return Constraints([lo] * d, [hi] * d)
+
+
+def _skyline(seed, n=4, d=3):
+    return np.random.default_rng(seed).random((n, d))
+
+
+def _fill(cache, n=5):
+    items = []
+    for i in range(n):
+        items.append(
+            cache.insert(_box(0.1 * i, 0.1 * i + 0.5), _skyline(i))
+        )
+    return items
+
+
+def _state(cache):
+    return sorted(
+        (
+            tuple(item.constraints.lo),
+            tuple(item.constraints.hi),
+            item.skyline.tobytes(),
+        )
+        for item in cache
+    )
+
+
+class TestMemoryBackend:
+    def test_default_backend_is_memory(self):
+        cache = SkylineCache()
+        assert isinstance(cache.backend, MemoryCacheBackend)
+
+    def test_memory_backend_is_bit_identical_to_default(self):
+        plain = SkylineCache()
+        backed = SkylineCache(backend=MemoryCacheBackend())
+        _fill(plain)
+        _fill(backed)
+        plain.remove(next(iter(plain)))
+        backed.remove(next(iter(backed)))
+        assert _state(plain) == _state(backed)
+        assert (plain.hits, plain.misses, plain.insertions) == (
+            backed.hits, backed.misses, backed.insertions
+        )
+        backed.close()  # no-op, no files anywhere
+
+
+class TestDiskWarmRestart:
+    def test_restart_from_snapshot(self, tmp_path):
+        cache = SkylineCache(
+            backend=DiskCacheBackend(tmp_path, fsync=False, checkpoint_every=None)
+        )
+        _fill(cache)
+        cache.close()  # final checkpoint -> snapshot
+
+        warm = SkylineCache(
+            backend=DiskCacheBackend(tmp_path, fsync=False, checkpoint_every=None)
+        )
+        assert warm.backend.restored_from == "snapshot"
+        assert warm.backend.restored_items == 5
+        assert _state(warm) == _state(cache)
+        warm.close()
+
+    def test_restart_from_wal_only(self, tmp_path):
+        cache = SkylineCache(
+            backend=DiskCacheBackend(tmp_path, fsync=False, checkpoint_every=None)
+        )
+        _fill(cache, n=3)
+        cache.backend.wal.close()  # abandon without checkpoint
+
+        warm = SkylineCache(
+            backend=DiskCacheBackend(tmp_path, fsync=False, checkpoint_every=None)
+        )
+        assert warm.backend.restored_from == "wal"
+        assert _state(warm) == _state(cache)
+        warm.close()
+
+    def test_restart_from_snapshot_plus_wal_tail(self, tmp_path):
+        cache = SkylineCache(
+            backend=DiskCacheBackend(tmp_path, fsync=False, checkpoint_every=None)
+        )
+        _fill(cache, n=3)
+        cache.checkpoint()
+        cache.insert(_box(0.8, 0.95), _skyline(99))  # journaled, unsnapshotted
+        cache.backend.wal.close()
+
+        warm = SkylineCache(
+            backend=DiskCacheBackend(tmp_path, fsync=False, checkpoint_every=None)
+        )
+        assert warm.backend.restored_from == "snapshot+wal"
+        assert _state(warm) == _state(cache)
+        warm.close()
+
+    def test_replay_covers_del_and_clear(self, tmp_path):
+        cache = SkylineCache(
+            backend=DiskCacheBackend(tmp_path, fsync=False, checkpoint_every=None)
+        )
+        items = _fill(cache, n=3)
+        cache.remove(items[1])
+        cache.backend.wal.close()
+        warm = SkylineCache(
+            backend=DiskCacheBackend(tmp_path, fsync=False, checkpoint_every=None)
+        )
+        assert _state(warm) == _state(cache)
+        warm.clear()
+        warm.backend.wal.close()
+        colder = SkylineCache(
+            backend=DiskCacheBackend(tmp_path, fsync=False, checkpoint_every=None)
+        )
+        assert len(colder) == 0
+        colder.close()
+
+    def test_fresh_directory_is_cold(self, tmp_path):
+        cache = SkylineCache(
+            backend=DiskCacheBackend(tmp_path, fsync=False, checkpoint_every=None)
+        )
+        assert cache.backend.restored_from == "cold"
+        assert cache.backend.restored_items == 0
+        cache.close()
+
+    def test_restored_item_metadata_survives(self, tmp_path):
+        cache = SkylineCache(
+            backend=DiskCacheBackend(tmp_path, fsync=False, checkpoint_every=None)
+        )
+        item = cache.insert(_box(0.0, 0.5), _skyline(1))
+        cache.candidates(_box(0.1, 0.4))  # bump use_count/last_used
+        use_count = item.use_count
+        cache.close()
+        warm = SkylineCache(
+            backend=DiskCacheBackend(tmp_path, fsync=False, checkpoint_every=None)
+        )
+        (restored,) = list(warm)
+        assert restored.use_count == use_count
+        warm.close()
+
+    def test_auto_checkpoint_bounds_wal(self, tmp_path):
+        metrics = MetricsRegistry()
+        cache = SkylineCache(
+            backend=DiskCacheBackend(
+                tmp_path, fsync=False, checkpoint_every=2, metrics=metrics
+            )
+        )
+        _fill(cache, n=5)
+        assert metrics.counter_value("cache_checkpoints_total") >= 2
+        assert (tmp_path / "snapshot.npz").exists()
+        cache.close()
+
+    def test_backend_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskCacheBackend(tmp_path, checkpoint_every=0)
+        with pytest.raises(ValueError):
+            DiskCacheBackend(tmp_path, on_corrupt="shrug")
+
+
+class TestCorruptSnapshot:
+    def _corrupt_snapshot(self, tmp_path):
+        path = tmp_path / "snapshot.npz"
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+
+    def test_cold_policy_starts_empty_and_counts(self, tmp_path):
+        cache = SkylineCache(
+            backend=DiskCacheBackend(tmp_path, fsync=False, checkpoint_every=None)
+        )
+        _fill(cache)
+        cache.close()
+        self._corrupt_snapshot(tmp_path)
+
+        metrics = MetricsRegistry()
+        warm = SkylineCache(
+            backend=DiskCacheBackend(
+                tmp_path, fsync=False, checkpoint_every=None, metrics=metrics
+            )
+        )
+        assert warm.backend.restored_from == "cold"
+        assert len(warm) == 0
+        assert metrics.counter_value("cache_restore_corrupt_total") == 1
+        # The cache keeps working and re-persists cleanly.
+        warm.insert(_box(0.2, 0.7), _skyline(5))
+        warm.close()
+        again = SkylineCache(
+            backend=DiskCacheBackend(tmp_path, fsync=False, checkpoint_every=None)
+        )
+        assert len(again) == 1
+        again.close()
+
+    def test_raise_policy_propagates(self, tmp_path):
+        cache = SkylineCache(
+            backend=DiskCacheBackend(tmp_path, fsync=False, checkpoint_every=None)
+        )
+        _fill(cache)
+        cache.close()
+        self._corrupt_snapshot(tmp_path)
+        with pytest.raises(CorruptCacheError):
+            SkylineCache(
+                backend=DiskCacheBackend(
+                    tmp_path, fsync=False, checkpoint_every=None,
+                    on_corrupt="raise",
+                )
+            )
+
+
+class TestChecksumRoundTrip:
+    def test_bit_flips_never_load_wrong_data(self, tmp_path):
+        """S2: save -> flip one byte -> load either raises the typed
+        :class:`CorruptCacheError` (never a raw zipfile/numpy/KeyError) or
+        -- when the flip lands in an ignorable zip header field like a
+        timestamp -- still round-trips the exact original payload.  What
+        must never happen is silently loading *different* data."""
+        cache = SkylineCache()
+        _fill(cache)
+        path = tmp_path / "cache.npz"
+        cache.save(path)
+        blob = path.read_bytes()
+        expected = _state(cache)
+
+        # Sanity: the pristine payload round-trips.
+        assert _state(SkylineCache.load(path)) == expected
+
+        detected = 0
+        for offset in range(0, len(blob), max(1, len(blob) // 97)):
+            flipped = bytearray(blob)
+            flipped[offset] ^= 0xFF
+            path.write_bytes(bytes(flipped))
+            try:
+                restored = SkylineCache.load(path)
+            except CorruptCacheError:
+                detected += 1
+            else:
+                assert _state(restored) == expected, (
+                    f"flip at byte {offset} silently loaded wrong data"
+                )
+        # The overwhelming majority of flips hit checksummed payload.
+        assert detected > 50
+
+    def test_truncated_file_raises_corrupt_cache_error(self, tmp_path):
+        cache = SkylineCache()
+        _fill(cache, n=2)
+        path = tmp_path / "cache.npz"
+        cache.save(path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CorruptCacheError):
+            SkylineCache.load(path)
+        fresh = SkylineCache()
+        with pytest.raises(CorruptCacheError):
+            fresh.load_into(path)
+
+
+class TestQuarantineLogBounds:
+    def test_ring_buffer_caps_and_counts_drops(self):
+        """S3: the quarantine log is bounded; overflow drops the oldest
+        event and increments the dropped counter + metric."""
+        metrics = MetricsRegistry()
+        cache = SkylineCache(metrics=metrics, quarantine_log_cap=3)
+        items = _fill(cache, n=5)
+        for item in items:
+            cache.quarantine(item, reason="test-overflow")
+        assert len(cache.quarantine_log) == 3
+        assert cache.quarantine_log_dropped == 2
+        assert (
+            metrics.counter_value("cache_quarantine_log_dropped_total") == 2
+        )
+        # The survivors are the newest events.
+        logged_ids = [event["item_id"] for event in cache.quarantine_log]
+        assert logged_ids == [items[2].item_id, items[3].item_id, items[4].item_id]
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            SkylineCache(quarantine_log_cap=0)

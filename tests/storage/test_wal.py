@@ -1,0 +1,224 @@
+"""Write-ahead log: framing, replay, rotation, torn tails, corruption."""
+
+import struct
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.storage.faults import FaultInjector, SimulatedCrash
+from repro.storage.wal import CorruptWALError, WriteAheadLog, _frame
+
+
+def _fill(wal, n, start=1):
+    for i in range(start, start + n):
+        wal.append({"op": "noop", "i": i})
+
+
+class TestAppendReplay:
+    def test_lsns_dense_from_one(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync=False)
+        lsns = [wal.append({"i": i}) for i in range(5)]
+        assert lsns == [1, 2, 3, 4, 5]
+        wal.close()
+
+    def test_replay_round_trips_payloads(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync=False)
+        payloads = [{"op": "insert", "rows": [float(i)]} for i in range(7)]
+        for p in payloads:
+            wal.append(p)
+        wal.close()
+
+        reopened = WriteAheadLog(tmp_path, fsync=False)
+        records = reopened.records()
+        assert [r.payload for r in records] == payloads
+        assert [r.lsn for r in records] == list(range(1, 8))
+        assert reopened.tail_status == "clean"
+        reopened.close()
+
+    def test_replay_after_lsn_skips_prefix(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync=False)
+        _fill(wal, 6)
+        assert [r.lsn for r in wal.records(after_lsn=4)] == [5, 6]
+        wal.close()
+
+    def test_fsync_mode_counts_fsyncs(self, tmp_path):
+        metrics = MetricsRegistry()
+        wal = WriteAheadLog(tmp_path, fsync=True, metrics=metrics)
+        _fill(wal, 3)
+        assert metrics.counter_value("wal_fsyncs_total") == 3
+        assert metrics.counter_value("wal_records_total") == 3
+        wal.close()
+
+
+class TestRotatePrune:
+    def test_rotate_starts_new_segment(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync=False)
+        _fill(wal, 3)
+        wal.rotate()
+        _fill(wal, 2, start=4)
+        assert len(list(tmp_path.glob("wal-*.log"))) == 2
+        # Replay spans both segments in order.
+        assert [r.lsn for r in wal.records()] == [1, 2, 3, 4, 5]
+        wal.close()
+
+    def test_prune_removes_covered_sealed_segments(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync=False)
+        _fill(wal, 4)
+        wal.rotate()
+        _fill(wal, 2, start=5)
+        removed = wal.prune(upto_lsn=4)
+        assert removed == 1
+        assert [r.lsn for r in wal.records()] == [5, 6]
+        wal.close()
+
+    def test_prune_never_deletes_active_segment(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync=False)
+        _fill(wal, 2)
+        assert wal.prune(upto_lsn=100) == 0
+        assert [r.lsn for r in wal.records()] == [1, 2]
+        wal.close()
+
+    def test_prune_keeps_segment_with_uncovered_records(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync=False)
+        _fill(wal, 4)
+        wal.rotate()
+        assert wal.prune(upto_lsn=3) == 0
+        wal.close()
+
+
+class TestTornTail:
+    def _truncate_tail(self, tmp_path, cut):
+        path = max(tmp_path.glob("wal-*.log"))
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - cut])
+
+    def test_torn_tail_truncated_on_open(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync=False)
+        _fill(wal, 5)
+        wal.close()
+        # Chop a few bytes off the last frame: a torn write.
+        self._truncate_tail(tmp_path, 3)
+
+        metrics = MetricsRegistry()
+        reopened = WriteAheadLog(tmp_path, fsync=False, metrics=metrics)
+        assert reopened.opened_tail_status == "torn"
+        assert metrics.counter_value("wal_torn_tails_truncated_total") == 1
+        # The torn record is gone; the valid prefix survives.
+        assert [r.lsn for r in reopened.records()] == [1, 2, 3, 4]
+        assert reopened.tail_status == "clean"
+        reopened.close()
+
+    def test_appends_continue_after_torn_truncation(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync=False)
+        _fill(wal, 3)
+        wal.close()
+        self._truncate_tail(tmp_path, 2)
+
+        reopened = WriteAheadLog(tmp_path, fsync=False)
+        assert reopened.last_lsn == 2
+        assert reopened.append({"op": "next"}) == 3
+        assert [r.lsn for r in reopened.records()] == [1, 2, 3]
+        reopened.close()
+
+    def test_short_header_is_torn(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync=False)
+        _fill(wal, 2)
+        wal.close()
+        path = max(tmp_path.glob("wal-*.log"))
+        with open(path, "ab") as handle:
+            handle.write(b"\x01\x02\x03")  # less than one header
+        reopened = WriteAheadLog(tmp_path, fsync=False)
+        assert reopened.opened_tail_status == "torn"
+        assert len(reopened.records()) == 2
+        reopened.close()
+
+
+class TestCorruption:
+    def test_midfile_bitflip_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync=False)
+        _fill(wal, 5)
+        wal.close()
+        path = max(tmp_path.glob("wal-*.log"))
+        blob = bytearray(path.read_bytes())
+        # Flip a payload byte of the FIRST record: the later valid frames
+        # prove this is bit rot, not a torn tail.
+        blob[struct.calcsize("<QII") + 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+
+        with pytest.raises(CorruptWALError):
+            WriteAheadLog(tmp_path, fsync=False)
+
+    def test_torn_tail_in_sealed_segment_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync=False)
+        _fill(wal, 3)
+        wal.rotate()
+        _fill(wal, 1, start=4)
+        wal.close()
+        sealed = min(tmp_path.glob("wal-*.log"))
+        blob = sealed.read_bytes()
+        sealed.write_bytes(blob[:-2])
+        with pytest.raises(CorruptWALError):
+            WriteAheadLog(tmp_path, fsync=False)
+
+
+class TestCrashPoints:
+    def test_armed_append_crash_leaves_no_frame(self, tmp_path):
+        injector = FaultInjector(profile="none", seed=0)
+        wal = WriteAheadLog(tmp_path, fsync=False, injector=injector)
+        _fill(wal, 2)
+        injector.arm_crash("wal.append", after=0)
+        with pytest.raises(SimulatedCrash):
+            wal.append({"op": "doomed"})
+        wal.close_handle()
+        reopened = WriteAheadLog(tmp_path, fsync=False)
+        assert [r.lsn for r in reopened.records()] == [1, 2]
+        assert reopened.opened_tail_status == "clean"
+        reopened.close()
+
+    def test_torn_append_crash_leaves_truncatable_prefix(self, tmp_path):
+        injector = FaultInjector(profile="none", seed=0)
+        wal = WriteAheadLog(tmp_path, fsync=False, injector=injector)
+        _fill(wal, 2)
+        injector.arm_crash("wal.append", after=0, torn_fraction=0.5)
+        with pytest.raises(SimulatedCrash):
+            wal.append({"op": "doomed", "padding": "x" * 64})
+        wal.close_handle()
+        reopened = WriteAheadLog(tmp_path, fsync=False)
+        assert reopened.opened_tail_status == "torn"
+        assert [r.lsn for r in reopened.records()] == [1, 2]
+        # The committed prefix is intact and appendable.
+        assert reopened.append({"op": "next"}) == 3
+        reopened.close()
+
+
+class TestLsnHorizon:
+    def test_reopen_after_full_prune_does_not_reuse_lsns(self, tmp_path):
+        """Regression guard for the checkpoint-prune LSN horizon.
+
+        After a checkpoint prunes every covered segment the reopened log is
+        empty; ``last_lsn`` must be restored by the checkpointing layer (see
+        DurabilityManager/DiskCacheBackend) or new appends reuse skipped
+        LSNs.  The WAL itself reports 0 here -- this pins the contract the
+        callers compensate for.
+        """
+        wal = WriteAheadLog(tmp_path, fsync=False)
+        _fill(wal, 4)
+        wal.rotate()
+        wal.prune(upto_lsn=4)
+        wal.close()
+
+        reopened = WriteAheadLog(tmp_path, fsync=False)
+        assert reopened.last_lsn == 0  # the caller must restore the horizon
+        reopened.last_lsn = max(reopened.last_lsn, 4)
+        assert reopened.append({"op": "next"}) == 5
+        reopened.close()
+
+    def test_frame_roundtrip_is_stable(self, tmp_path):
+        frame = _frame(7, b'{"op":"x"}')
+        path = tmp_path / "wal-00000001.log"
+        path.write_bytes(frame)
+        wal = WriteAheadLog(tmp_path, fsync=False)
+        (record,) = wal.records()
+        assert record.lsn == 7
+        assert record.payload == {"op": "x"}
+        wal.close()
