@@ -138,6 +138,15 @@ def build_parser() -> argparse.ArgumentParser:
              "explicit FIGUREs, runs the soak alone",
     )
     parser.add_argument(
+        "--overload", metavar="N", type=int,
+        help="run an N-request open-loop overload soak at 2x the calibrated "
+             "saturation rate (zipf-skewed multi-user stream through the "
+             "QueryService ingress: admission control, coalescing, "
+             "deadlines); exits 6 if accounting leaks, an admitted answer "
+             "differs from the reference, or p99 is unbounded.  Without "
+             "explicit FIGUREs, runs the soak alone",
+    )
+    parser.add_argument(
         "--crash-drill", action="store_true",
         help="run the seeded crash-recovery drill: kill a durable engine at "
              "armed crash points mid-write, recover from the WAL, and check "
@@ -171,6 +180,9 @@ def main(argv=None) -> int:
     if opts.chaos is not None and opts.chaos < 1:
         print("--chaos needs a positive query count")
         return 2
+    if opts.overload is not None and opts.overload < 1:
+        print("--overload needs a positive request count")
+        return 2
     if opts.workers < 1:
         print("--workers needs a positive worker count")
         return 2
@@ -179,7 +191,7 @@ def main(argv=None) -> int:
         return 2
     if opts.figures:
         names = list(opts.figures)
-    elif opts.chaos is not None or opts.crash_drill:
+    elif opts.chaos is not None or opts.crash_drill or opts.overload is not None:
         names = []  # soak-/drill-only run
     else:
         names = list(ALL_EXPERIMENTS)
@@ -285,6 +297,7 @@ def main(argv=None) -> int:
     figure_failures = []
     chaos_report = None
     crash_report = None
+    serving_report = None
     cumulative = obs.metrics if obs is not None else None
     audit_summary = None
     faults_ctx = (
@@ -361,6 +374,19 @@ def main(argv=None) -> int:
             print()
             if opts.json is not None:
                 dump["chaos"] = chaos_report.as_dict()
+        if opts.overload is not None:
+            from repro.bench.serving import run_overload_soak
+
+            serving_report = run_overload_soak(
+                n_requests=opts.overload,
+                profile=opts.faults or "none",
+                obs=obs,
+                workers=max(opts.workers, 2),
+            )
+            print(serving_report.render_text())
+            print()
+            if opts.json is not None:
+                dump["overload"] = serving_report.as_dict()
         if opts.crash_drill or opts.chaos is not None:
             # The crash-recovery drill rides along with every chaos soak:
             # same fault profile, same worker count, plus armed crashes.
@@ -418,6 +444,9 @@ def main(argv=None) -> int:
             figures=figure_summaries,
             audit=audit_summary,
             chaos=chaos_report.as_dict() if chaos_report is not None else None,
+            overload=(
+                serving_report.as_dict() if serving_report is not None else None
+            ),
         )
         if opts.save_bench is not None:
             written = save_snapshot(snapshot, opts.save_bench)
@@ -490,7 +519,7 @@ def main(argv=None) -> int:
             print(render_report(obs.metrics))
     # Distinct exit codes: 1 regression, 2 usage/snapshot error, 3 a figure
     # run failed mid-workload, 4 the chaos soak failed, 5 the crash-recovery
-    # drill failed.
+    # drill failed, 6 the overload soak failed.
     if figure_failures:
         print(f"[{len(figure_failures)} figure(s) failed: {figure_failures}]")
         exit_code = 3
@@ -500,6 +529,9 @@ def main(argv=None) -> int:
     if crash_report is not None and not crash_report.passed:
         print("[crash-recovery drill FAILED]")
         exit_code = 5
+    if serving_report is not None and not serving_report.passed:
+        print("[overload soak FAILED]")
+        exit_code = 6
     return exit_code
 
 

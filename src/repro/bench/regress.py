@@ -112,6 +112,26 @@ def summarize_registry(metrics) -> dict:
             "warm_hit_rate": metrics.gauge_value("warmstart_warm_hit_rate"),
             "restored_items": metrics.gauge_value("warmstart_restored_items"),
         }
+    # The serving figure exports the overload soak's wall-clock latency
+    # percentiles and ingress rates as gauges; carry them into the snapshot
+    # so the trajectory (and the CI gate, with its own generous serving
+    # thresholds) tracks the overload behaviour alongside the per-method
+    # means.
+    serving_p99 = metrics.gauge_value("serving_p99_ms")
+    if serving_p99 is not None:
+        summary["serving"] = {
+            "p50_ms": metrics.gauge_value("serving_p50_ms"),
+            "p95_ms": metrics.gauge_value("serving_p95_ms"),
+            "p99_ms": serving_p99,
+            "shed_rate": metrics.gauge_value("serving_shed_rate"),
+            "coalesce_rate": metrics.gauge_value("serving_coalesce_rate"),
+            "deadline_exceeded": metrics.gauge_value(
+                "serving_deadline_exceeded"
+            ),
+            "submitted": metrics.gauge_value("serving_submitted"),
+            "answered": metrics.gauge_value("serving_answered"),
+            "target_rps": metrics.gauge_value("serving_target_rps"),
+        }
     return summary
 
 
@@ -137,6 +157,7 @@ def build_snapshot(
     rev: Optional[str] = None,
     run_id: Optional[str] = None,
     chaos: Optional[dict] = None,
+    overload: Optional[dict] = None,
 ) -> dict:
     """Assemble the schema-versioned snapshot dict for one bench run."""
     rev = git_rev() if rev is None else rev
@@ -157,6 +178,8 @@ def build_snapshot(
         snapshot["audit"] = audit
     if chaos is not None:
         snapshot["chaos"] = chaos
+    if overload is not None:
+        snapshot["overload"] = overload
     return snapshot
 
 
@@ -220,6 +243,12 @@ class Thresholds:
     abs_ms: float = 2.0
     abs_points: float = 25.0
     abs_range_queries: float = 0.5
+    # The serving figure's latency percentiles are pure wall-clock under an
+    # intentionally overloaded open-loop schedule, so they are far noisier
+    # than the simulated per-method means: tolerate a 2x excess and demand
+    # a large absolute delta before failing CI.
+    rel_serving: float = 1.0
+    abs_serving_ms: float = 50.0
 
 
 #: metric key -> (snapshot extractor, rel-threshold attr, abs-threshold attr)
@@ -232,6 +261,9 @@ _METRICS = {
         "abs_range_queries",
     ),
 }
+
+#: Serving-section latency metrics gated (generously) by the compare.
+_SERVING_METRICS = ("p50_ms", "p95_ms", "p99_ms")
 
 STATUS_OK = "ok"
 STATUS_REGRESSED = "regressed"
@@ -306,6 +338,8 @@ class RegressionReport:
                 "abs_ms": self.thresholds.abs_ms,
                 "abs_points": self.thresholds.abs_points,
                 "abs_range_queries": self.thresholds.abs_range_queries,
+                "rel_serving": self.thresholds.rel_serving,
+                "abs_serving_ms": self.thresholds.abs_serving_ms,
             },
             "has_regressions": self.has_regressions,
             "findings": [f.as_dict() for f in self.findings],
@@ -474,6 +508,29 @@ def compare_snapshots(
             report.findings.append(
                 Finding(fig_name, method, "*", None, None, STATUS_NEW)
             )
+        base_serving = base_fig.get("serving")
+        cur_serving = cur_fig.get("serving")
+        if isinstance(base_serving, dict) and isinstance(cur_serving, dict):
+            for metric in _SERVING_METRICS:
+                b, c = base_serving.get(metric), cur_serving.get(metric)
+                if b is None or c is None:
+                    continue
+                try:
+                    b, c = float(b), float(c)
+                except (TypeError, ValueError):
+                    report.warnings.append(
+                        f"figure {fig_name!r}: serving metric {metric!r} "
+                        f"is not numeric; skipped"
+                    )
+                    continue
+                if b != b or c != c:
+                    continue
+                status = _classify(
+                    b, c, thresholds.rel_serving, thresholds.abs_serving_ms
+                )
+                report.findings.append(
+                    Finding(fig_name, "serving", metric, b, c, status)
+                )
     for fig_name in sorted(set(cur_figures) - set(base_figures)):
         report.warnings.append(
             f"figure {fig_name!r} is new in the current snapshot "
@@ -507,6 +564,10 @@ def main(argv=None) -> int:
                         help=f"absolute floor for points_read deltas (default {defaults.abs_points})")
     parser.add_argument("--abs-rq", type=float, default=defaults.abs_range_queries,
                         help=f"absolute floor for range_queries deltas (default {defaults.abs_range_queries})")
+    parser.add_argument("--rel-serving", type=float, default=defaults.rel_serving,
+                        help=f"relative tolerance for serving latency percentiles (default {defaults.rel_serving})")
+    parser.add_argument("--abs-serving-ms", type=float, default=defaults.abs_serving_ms,
+                        help=f"absolute floor for serving latency deltas (default {defaults.abs_serving_ms})")
     parser.add_argument("--json", metavar="PATH", help="also write the report as JSON")
     parser.add_argument("--verbose", action="store_true",
                         help="list within-noise metrics too")
@@ -523,6 +584,8 @@ def main(argv=None) -> int:
         abs_ms=opts.abs_ms,
         abs_points=opts.abs_points,
         abs_range_queries=opts.abs_rq,
+        rel_serving=opts.rel_serving,
+        abs_serving_ms=opts.abs_serving_ms,
     )
     try:
         baseline = load_snapshot(opts.baseline)

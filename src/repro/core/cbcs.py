@@ -41,7 +41,8 @@ from repro.core.planner import CASE_MISS, Planner, QueryPlan
 from repro.core.strategies import CacheSearchStrategy, MaxOverlapSP
 from repro.geometry.constraints import Constraints
 from repro.obs import NULL_OBS, bind, current_query_id
-from repro.resilience import DEGRADABLE, resolve_resilience
+from repro.resilience import DEGRADABLE, DeadlineExceeded, resolve_resilience
+from repro.resilience.deadline import Deadline
 from repro.skyline.sfs import sfs_skyline
 from repro.stats import QueryOutcome, Stopwatch
 from repro.storage.backend import build_backend
@@ -162,7 +163,10 @@ class CBCS:
     # Querying
     # ------------------------------------------------------------------
     def query(
-        self, constraints: Constraints, query_id: Optional[str] = None
+        self,
+        constraints: Constraints,
+        query_id: Optional[str] = None,
+        deadline=None,
     ) -> QueryOutcome:
         """Answer one constrained skyline query, reusing the cache.
 
@@ -180,9 +184,24 @@ class CBCS:
         otherwise one is minted here whenever observability is enabled.
         With observability disabled no id is minted and the answer is
         bit-identical to the uninstrumented path.
+
+        ``deadline`` (a number of milliseconds or an armed
+        :class:`~repro.resilience.deadline.Deadline`) bounds this query
+        end to end.  Wall-clock time, simulated I/O, and simulated retry
+        backoff all charge the same budget.  When it expires mid-flight the
+        query stops descending the ladder and serves the best cached answer
+        it has, flagged ``stale=True``; with nothing cached it raises the
+        typed :class:`~repro.resilience.DeadlineExceeded` -- never a silent
+        hang, never a partial unflagged result.  A query that completes
+        just past its deadline still returns its answer.  Without
+        resilience the deadline is only checked at ingress (there is no
+        retry/fetch machinery to charge it from).
         """
         if constraints.ndim != self.table.ndim:
             raise ValueError("constraints dimensionality does not match the table")
+        deadline = Deadline.normalize(deadline)
+        if deadline is not None and self.resilience is None:
+            deadline.check("ingress")
         obs = self.obs
         if query_id is None and obs.enabled:
             query_id = obs.correlation.new_id()
@@ -199,7 +218,9 @@ class CBCS:
                 if self.resilience is None:
                     outcome = self._answer(constraints, qspan, xb=xb)
                 else:
-                    outcome = self._answer_resilient(constraints, qspan, xb=xb)
+                    outcome = self._answer_resilient(
+                        constraints, qspan, deadline=deadline, xb=xb
+                    )
             outcome.query_id = query_id
             obs.record_outcome(outcome)
             if xb is not None:
@@ -207,15 +228,30 @@ class CBCS:
         return outcome
 
     def _answer_resilient(
-        self, constraints: Constraints, qspan, xb=None
+        self, constraints: Constraints, qspan, deadline=None, xb=None
     ) -> QueryOutcome:
-        """Normal plan with retries; on give-up, walk the degradation ladder."""
-        state = self.resilience.new_state()
+        """Normal plan with retries; on give-up, walk the degradation ladder.
+
+        A mid-flight :class:`DeadlineExceeded` short-circuits the ladder:
+        cheaper rungs still cost fetches the budget cannot pay for, so the
+        query jumps straight to the stale-serve rung.  With nothing cached
+        the exception propagates -- the serving layer's cue to emit a typed
+        ``deadline_exceeded`` outcome.
+        """
+        state = self.resilience.new_state(deadline=deadline)
         try:
             outcome = self._answer(constraints, qspan, retry_state=state, xb=xb)
+        except DeadlineExceeded:
+            self.obs.metrics.inc("query_deadline_exceeded_total", method=self.name)
+            stale = self._serve_stale(constraints, qspan)
+            if stale is None:
+                raise
+            outcome = stale
         except DEGRADABLE as cause:
             self.obs.metrics.inc("degradation_entered_total", method=self.name)
-            outcome = self._answer_degraded(constraints, qspan, state, cause, xb=xb)
+            outcome = self._answer_degraded(
+                constraints, qspan, state, cause, deadline=deadline, xb=xb
+            )
         outcome.retries = state.retries
         return outcome
 
@@ -422,7 +458,7 @@ class CBCS:
     # Degradation ladder
     # ------------------------------------------------------------------
     def _answer_degraded(
-        self, constraints: Constraints, qspan, state, cause, xb=None
+        self, constraints: Constraints, qspan, state, cause, deadline=None, xb=None
     ) -> QueryOutcome:
         """Walk the ladder after the normal plan gave up (``cause``).
 
@@ -438,12 +474,20 @@ class CBCS:
            dominators fell outside the cached region).
         4. ``unavailable``: the empty last resort when storage is down and
            nothing cached overlaps.
+
+        A per-request ``deadline`` gates the descent: each fetching rung is
+        only attempted while budget remains, and a rung interrupted by
+        :class:`DeadlineExceeded` falls straight through to the stale-serve
+        rung (no further fetching).  If the deadline is spent and nothing
+        is cached, the exception propagates as the typed outcome.
         """
         obs = self.obs
-        verify = self.resilience.verify_cache
 
-        if self._fallback_region is not None:
-            rung_state = self.resilience.new_state()
+        deadline_hit = False
+        if self._fallback_region is not None and not (
+            deadline is not None and deadline.expired
+        ):
+            rung_state = self.resilience.new_state(deadline=deadline)
             try:
                 outcome = self._answer(
                     constraints,
@@ -456,24 +500,59 @@ class CBCS:
                 qspan.set(degraded=RUNG_AMPR)
                 state.retries += rung_state.retries
                 return outcome
+            except DeadlineExceeded:
+                state.retries += rung_state.retries
+                deadline_hit = True
             except DEGRADABLE:
                 state.retries += rung_state.retries
 
-        rung_state = self.resilience.new_state()
-        try:
-            watch = Stopwatch(tracer=obs.tracer, profiler=obs.profiler)
-            io_before = self.table.stats.snapshot()
-            outcome = self._query_miss(
-                constraints, watch, io_before, rung_state, xb=xb
-            )
-            outcome.degraded = RUNG_BOUNDING
-            qspan.set(degraded=RUNG_BOUNDING)
-            state.retries += rung_state.retries
-            return outcome
-        except DEGRADABLE:
-            state.retries += rung_state.retries
+        if not deadline_hit and not (deadline is not None and deadline.expired):
+            rung_state = self.resilience.new_state(deadline=deadline)
+            try:
+                watch = Stopwatch(tracer=obs.tracer, profiler=obs.profiler)
+                io_before = self.table.stats.snapshot()
+                outcome = self._query_miss(
+                    constraints, watch, io_before, rung_state, xb=xb
+                )
+                outcome.degraded = RUNG_BOUNDING
+                qspan.set(degraded=RUNG_BOUNDING)
+                state.retries += rung_state.retries
+                return outcome
+            except DeadlineExceeded:
+                state.retries += rung_state.retries
+                deadline_hit = True
+            except DEGRADABLE:
+                state.retries += rung_state.retries
 
-        with obs.tracer.span("cbcs.stale_serve"):
+        if deadline_hit or (deadline is not None and deadline.expired):
+            self.obs.metrics.inc("query_deadline_exceeded_total", method=self.name)
+
+        stale = self._serve_stale(constraints, qspan)
+        if stale is not None:
+            return stale
+
+        if deadline is not None and deadline.expired:
+            # Out of time and nothing cached: surface the typed outcome
+            # rather than inventing an empty "unavailable" answer.
+            deadline.check("degradation ladder")
+
+        qspan.set(degraded=RUNG_UNAVAILABLE)
+        return QueryOutcome(
+            skyline=np.empty((0, constraints.ndim)),
+            method=self.name,
+            case=None,
+            stable=None,
+            cache_hit=False,
+            degraded=RUNG_UNAVAILABLE,
+            stale=True,
+        )
+
+    def _serve_stale(self, constraints: Constraints, qspan) -> Optional[QueryOutcome]:
+        """The stale-serve rung: best-overlap cached skyline filtered to the
+        query region, flagged ``stale=True``; None when nothing cached
+        overlaps (or every candidate fails verification)."""
+        verify = self.resilience.verify_cache
+        with self.obs.tracer.span("cbcs.stale_serve"):
             candidates = self.cache.candidates(constraints, record=False)
             while candidates:
                 best = max(
@@ -493,14 +572,4 @@ class CBCS:
                         stale=True,
                     )
                 candidates = [c for c in candidates if c is not best]
-
-        qspan.set(degraded=RUNG_UNAVAILABLE)
-        return QueryOutcome(
-            skyline=np.empty((0, constraints.ndim)),
-            method=self.name,
-            case=None,
-            stable=None,
-            cache_hit=False,
-            degraded=RUNG_UNAVAILABLE,
-            stale=True,
-        )
+        return None

@@ -123,13 +123,20 @@ def correlate(obs_dir, query_id: str) -> Dict[str, object]:
     into the obs dir), and any flight-recorder snapshots that covered the
     query's window.  Missing files yield empty lists, not errors -- the
     same partial-artifact tolerance as ``repro.obs.report``.
+
+    A coalesced/deduplicated request executes no query of its own; its
+    outcome record names the executing query in ``served_by``.  The join
+    follows that pointer one hop: the result then also carries
+    ``served_by`` and ``parent_spans`` (the executing query's trace spans),
+    so piggybacked requests stay fully explainable.
     """
     from pathlib import Path
 
     obs_dir = Path(obs_dir)
+    all_spans = _jsonl_records(obs_dir / "trace.jsonl")
     spans = [
         rec
-        for rec in _jsonl_records(obs_dir / "trace.jsonl")
+        for rec in all_spans
         if (rec.get("attrs") or {}).get("query_id") == query_id
     ]
     outcomes = [
@@ -137,11 +144,24 @@ def correlate(obs_dir, query_id: str) -> Dict[str, object]:
         for rec in _jsonl_records(obs_dir / "queries.jsonl")
         if rec.get("query_id") == query_id
     ]
+    outcome = outcomes[0] if outcomes else None
+    served_by = outcome.get("served_by") if outcome else None
+    parent_spans = (
+        [
+            rec
+            for rec in all_spans
+            if (rec.get("attrs") or {}).get("query_id") == served_by
+        ]
+        if served_by
+        else []
+    )
     return {
         "query_id": query_id,
         "spans": spans,
-        "outcome": outcomes[0] if outcomes else None,
+        "outcome": outcome,
         "outcomes": outcomes,
+        "served_by": served_by,
+        "parent_spans": parent_spans,
     }
 
 
@@ -157,6 +177,18 @@ def render_correlation(joined: Dict[str, object]) -> str:
         )
     else:
         lines.append("outcome: (no queries.jsonl record)")
+    served_by = joined.get("served_by")
+    if served_by:
+        parent_spans = joined.get("parent_spans") or []
+        lines.append(
+            f"served by: {served_by} (coalesced; "
+            f"{len(parent_spans)} span(s) of the executing query below)"
+        )
+        for span in parent_spans:
+            lines.append(
+                f"  {'  ' * int(span.get('depth', 0))}{span['name']} "
+                f"{span.get('duration_ms', 0.0):.3f}ms"
+            )
     spans = joined.get("spans") or []
     if spans:
         lines.append(f"spans ({len(spans)}):")

@@ -70,13 +70,20 @@ class SLOSpec:
 
 @dataclass
 class HealthReport:
-    """One health verdict: status, reasons, and the snapshot it judged."""
+    """One health verdict: status, reasons, and the snapshot it judged.
+
+    ``service`` carries the serving layer's ingress stats (queue depth and
+    capacity, in-flight count, shed/rejected totals) when the monitor has
+    a ``service_stats`` side channel -- the overload evidence behind any
+    "overload"/"ingress queue" reasons.
+    """
 
     status: str
     reasons: List[str] = field(default_factory=list)
     snapshot: Optional[WindowSnapshot] = None
     breaker_state: Optional[str] = None
     quarantined: int = 0
+    service: Optional[dict] = None
 
     @property
     def healthy(self) -> bool:
@@ -89,6 +96,7 @@ class HealthReport:
             "breaker_state": self.breaker_state,
             "quarantined": self.quarantined,
             "window": self.snapshot.as_dict() if self.snapshot else None,
+            "service": dict(self.service) if self.service is not None else None,
         }
 
     def summary(self) -> str:
@@ -110,7 +118,20 @@ class HealthMonitor:
     optional side channels: an open breaker is an availability failure
     regardless of what the window says, and fresh quarantines mark the
     service degraded even while answers stay in SLO.
+
+    ``service_stats`` (a zero-arg callable returning
+    ``QueryService.stats()``-shaped ingress numbers) is the overload side
+    channel: fresh shed/rejected requests or a nearly full ingress queue
+    classify the service ``degraded`` with an explicit overload reason --
+    even while the answered queries in the window still meet their SLO,
+    and even while the window is too empty to judge (shed traffic never
+    *enters* the window, so overload must not hide behind "insufficient
+    data").
     """
+
+    #: queue-depth fraction above which the ingress queue itself is a
+    #: degradation reason, ahead of any shedding
+    QUEUE_PRESSURE_FRACTION = 0.8
 
     def __init__(
         self,
@@ -119,13 +140,42 @@ class HealthMonitor:
         breaker=None,
         quarantined: Optional[Callable[[], int]] = None,
         metrics=None,
+        service_stats: Optional[Callable[[], dict]] = None,
     ):
         self.window = window
         self.slo = slo if slo is not None else SLOSpec()
         self.breaker = breaker
         self.quarantined = quarantined
         self.metrics = metrics
+        self.service_stats = service_stats
         self._last_quarantined = quarantined() if quarantined is not None else 0
+        self._last_shed_total = 0
+
+    def _overload_reasons(self, service: Optional[dict]) -> List[str]:
+        """Soft reasons derived from the ingress stats (empty when calm)."""
+        if service is None:
+            return []
+        reasons: List[str] = []
+        shed_total = (
+            service.get("shed", 0)
+            + service.get("rejected_queue_full", 0)
+            + service.get("deadline_exceeded", 0)
+        )
+        newly_shed = shed_total - self._last_shed_total
+        self._last_shed_total = shed_total
+        depth = service.get("queue_depth", 0)
+        capacity = service.get("queue_capacity", 0)
+        if newly_shed > 0:
+            reasons.append(
+                f"overload: {newly_shed} request(s) shed/rejected/expired "
+                f"since last check (queue {depth}/{capacity}, "
+                f"{service.get('in_flight', 0)} in flight)"
+            )
+        if capacity and depth >= self.QUEUE_PRESSURE_FRACTION * capacity:
+            reasons.append(
+                f"ingress queue under pressure: {depth}/{capacity} slots used"
+            )
+        return reasons
 
     def report(self) -> HealthReport:
         """Judge the current window; never raises."""
@@ -150,10 +200,25 @@ class HealthMonitor:
                 f"{newly_quarantined} cache item(s) quarantined since last check"
             )
 
+        service = (
+            self.service_stats() if self.service_stats is not None else None
+        )
+        overload = self._overload_reasons(service)
+        soft.extend(overload)
+
         if snap.queries + snap.errors < slo.min_queries:
+            # Shed traffic never enters the window, so overload reasons
+            # still classify the service degraded on a quiet window.
+            if hard:
+                status = UNHEALTHY
+            elif overload:
+                status = DEGRADED
+            else:
+                status = HEALTHY
             report = HealthReport(
-                status=UNHEALTHY if hard else HEALTHY,
+                status=status,
                 reasons=hard
+                + overload
                 + [
                     f"insufficient data: {snap.queries + snap.errors} of "
                     f"{slo.min_queries} queries in window"
@@ -161,6 +226,7 @@ class HealthMonitor:
                 snapshot=snap,
                 breaker_state=breaker_state,
                 quarantined=quarantined,
+                service=service,
             )
             self._export(report)
             return report
@@ -206,6 +272,7 @@ class HealthMonitor:
             snapshot=snap,
             breaker_state=breaker_state,
             quarantined=quarantined,
+            service=service,
         )
         self._export(report)
         return report
@@ -223,12 +290,20 @@ class HealthMonitor:
 def render_dashboard(report: HealthReport) -> str:
     """One-line live dashboard rendering for ``--watch``."""
     snap = report.snapshot
+    service = report.service
+    queue = ""
+    if service is not None:
+        shed = service.get("shed", 0) + service.get("rejected_queue_full", 0)
+        queue = (
+            f"queue={service.get('queue_depth', 0)}/"
+            f"{service.get('queue_capacity', 0)}  shed={shed}  "
+        )
     if snap is None or snap.queries == 0:
-        return f"[watch] status={report.summary()} (no traffic in window)"
+        return f"[watch] {queue}status={report.summary()} (no traffic in window)"
     return (
         f"[watch] qps={snap.qps:7.1f}  "
         f"p50={snap.p50_ms:7.2f}ms  p95={snap.p95_ms:7.2f}ms  "
         f"p99={snap.p99_ms:7.2f}ms  hit={snap.hit_ratio:6.1%}  "
         f"degraded={snap.degraded_rate:5.1%}  stale={snap.stale_rate:5.1%}  "
-        f"errors={snap.errors}  status={report.summary()}"
+        f"errors={snap.errors}  {queue}status={report.summary()}"
     )

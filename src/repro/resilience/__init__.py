@@ -34,11 +34,13 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.deadline import Deadline
 from repro.resilience.errors import (  # noqa: F401  (re-exported)
     DEGRADABLE,
     RETRYABLE,
     CircuitOpenError,
     CorruptResultError,
+    DeadlineExceeded,
     RetriesExhausted,
 )
 from repro.resilience.retry import RetryPolicy, RetryState, call_with_retry
@@ -52,6 +54,8 @@ __all__ = [
     "CircuitBreaker",
     "CircuitOpenError",
     "CorruptResultError",
+    "Deadline",
+    "DeadlineExceeded",
     "RetriesExhausted",
     "RETRYABLE",
     "DEGRADABLE",
@@ -77,9 +81,10 @@ class Resilience:
         self.breaker.bind_metrics(metrics)
         return self
 
-    def new_state(self) -> RetryState:
-        """A fresh per-query retry budget."""
-        return RetryState(self.policy)
+    def new_state(self, deadline=None) -> RetryState:
+        """A fresh per-query retry budget, optionally bound to a
+        per-request :class:`~repro.resilience.deadline.Deadline`."""
+        return RetryState(self.policy, deadline=deadline)
 
 
 def resolve_resilience(resilience) -> Optional[Resilience]:

@@ -32,6 +32,19 @@ class CircuitOpenError(RuntimeError):
     touching storage."""
 
 
+class DeadlineExceeded(RuntimeError):
+    """A per-request deadline budget ran out before the query finished.
+
+    Deliberately *not* retryable and *not* degradable: retrying or
+    descending further down the ladder cannot finish inside the deadline
+    either.  The ladder catches it explicitly and jumps straight to the
+    stale-serve rung; if even that has nothing cached, the exception
+    surfaces to the serving layer, which turns it into a typed
+    ``deadline_exceeded`` outcome -- never a silent hang, never a partial
+    unflagged result.
+    """
+
+
 #: Exceptions the retry loop treats as retryable.
 RETRYABLE = (TransientStorageError, OSError)
 

@@ -18,7 +18,7 @@ import threading
 from dataclasses import dataclass
 
 from repro.obs.metrics import NULL_METRICS
-from repro.resilience.errors import RETRYABLE, RetriesExhausted
+from repro.resilience.errors import RETRYABLE, DeadlineExceeded, RetriesExhausted
 
 
 def _mix(token: int, attempt: int) -> int:
@@ -67,10 +67,17 @@ class RetryPolicy:
 
 
 class RetryState:
-    """Per-query accumulator: retries taken and backoff budget spent."""
+    """Per-query accumulator: retries taken and backoff budget spent.
 
-    def __init__(self, policy: RetryPolicy):
+    ``deadline`` (a :class:`~repro.resilience.deadline.Deadline`, optional)
+    is the request's end-to-end budget; every simulated backoff delay spent
+    here is also charged against it, and the retry loop stops retrying the
+    moment it expires.
+    """
+
+    def __init__(self, policy: RetryPolicy, deadline=None):
         self.policy = policy
+        self.deadline = deadline
         self.retries = 0
         self.spent_ms = 0.0
         self._token = 0
@@ -99,7 +106,9 @@ class RetryState:
                 return False
             self.spent_ms += delay_ms
             self.retries += 1
-            return True
+        if self.deadline is not None:
+            self.deadline.charge(delay_ms)
+        return True
 
 
 def call_with_retry(fn, state: RetryState, metrics=None, op: str = "fetch"):
@@ -109,6 +118,11 @@ def call_with_retry(fn, state: RetryState, metrics=None, op: str = "fetch"):
     each deterministic backoff delay to the query budget.  Raises
     :class:`RetriesExhausted` (chaining the last error) once attempts or
     budget run out; non-retryable exceptions propagate unchanged.
+
+    When the state carries a per-request deadline that expires mid-retry,
+    the loop raises :class:`DeadlineExceeded` instead of burning further
+    attempts -- the ladder's cue to stop descending and serve the best
+    answer it already has.
     """
     metrics = NULL_METRICS if metrics is None else metrics
     policy = state.policy
@@ -118,6 +132,13 @@ def call_with_retry(fn, state: RetryState, metrics=None, op: str = "fetch"):
         try:
             return fn()
         except RETRYABLE as exc:
+            if state.deadline is not None and state.deadline.expired:
+                metrics.inc("deadline_exceeded_total", op=op)
+                raise DeadlineExceeded(
+                    f"{op} abandoned mid-retry: per-request deadline of "
+                    f"{state.deadline.budget_ms:.1f}ms exceeded after "
+                    f"attempt {attempt}"
+                ) from exc
             if attempt >= policy.max_attempts:
                 raise RetriesExhausted(
                     f"{op} failed after {attempt} attempts"

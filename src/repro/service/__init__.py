@@ -1,10 +1,26 @@
-"""A small concurrent serving front for the CBCS engine.
+"""Overload-safe concurrent serving for the CBCS engine.
 
 :class:`QueryService` accepts Sky(S, C') requests from many clients at
-once, answering them on a bounded worker pool against **one shared
-engine** -- one skyline cache, one storage backend, one set of metrics.
-This is the layer a driver program talks to; the engine itself stays a
-single-query object.
+once and answers them against **one shared engine** -- one skyline cache,
+one storage backend, one set of metrics.  Since PR 9 the service is no
+longer a plain bounded pool: requests pass through a bounded *priority
+ingress queue* with explicit backpressure, *admission control* that sheds
+load by priority class under overload, *in-flight deduplication* and
+*subsumption coalescing* (identical or pure-shrink regions share one
+execution, answered via the paper's case analysis), and optional
+*per-request deadlines* that propagate into the engine's retry/degradation
+machinery.  Every submitted request terminates explicitly: answered, a
+typed :class:`RequestRejected`, or a reported error -- never a silent
+drop, never an unbounded wait.
+
+The package splits by stage:
+
+- :mod:`repro.service.queue` -- the bounded priority ingress queue;
+- :mod:`repro.service.admission` -- shedding policy and controller;
+- :mod:`repro.service.coalesce` -- the in-flight table and the exactness
+  condition for piggybacking (generalized Theorem 3);
+- :mod:`repro.service.service` -- the :class:`QueryService` orchestrating
+  them, plus :class:`ServiceReport`.
 
 Thread-safety contract: the engine's shared state is individually locked
 (cache R*-tree and items, table stats, fault injector, retry budget,
@@ -17,193 +33,61 @@ unaffected.
 Live observability: the service maintains a
 :class:`~repro.obs.window.RollingWindow` of recent outcomes and a
 :class:`~repro.obs.health.HealthMonitor` judging it against an
-:class:`~repro.obs.health.SLOSpec`, so :meth:`QueryService.health` answers
-"is the service meeting its objectives right now, and why not?" at any
-moment.  When the engine's observability is enabled, every request is also
-assigned a ``query_id`` at ingress, correlating its trace spans, outcome
-record, and metric exemplars end-to-end.
+:class:`~repro.obs.health.SLOSpec`; :meth:`QueryService.health` also
+carries the ingress stats (queue depth, in-flight count, shed/rejected
+totals) so overload classifies as ``degraded`` with a reason.  When the
+engine's observability is enabled, every request -- including shed and
+coalesced ones -- is assigned a ``query_id`` at ingress, and coalesced
+outcomes name their executing query in ``served_by``.
 
 Example::
 
     with QueryService(engine, workers=4) as svc:
+        future = svc.submit(c, priority="interactive", deadline_ms=250.0)
         report = svc.run(queries)
         print(svc.health().summary())
     print(report.per_worker)   # {'cbcs-svc_0': 13, 'cbcs-svc_1': 12, ...}
 """
 
-from __future__ import annotations
+from repro.service.admission import AdmissionController, AdmissionPolicy
+from repro.service.coalesce import (
+    KIND_DEDUP,
+    KIND_SUBSUMED,
+    InFlightTable,
+    can_coalesce,
+)
+from repro.service.queue import (
+    DEFAULT_PRIORITY,
+    PRIORITIES,
+    IngressQueue,
+    QueueStats,
+)
+from repro.service.service import (
+    STATUS_ANSWERED,
+    STATUS_DEADLINE_EXCEEDED,
+    STATUS_REJECTED_QUEUE_FULL,
+    STATUS_SHED,
+    QueryService,
+    RequestRejected,
+    ServiceReport,
+)
 
-import inspect
-import threading
-from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
-
-from repro.obs.health import HealthMonitor, HealthReport, SLOSpec
-from repro.obs.window import RollingWindow
-
-__all__ = ["QueryService", "ServiceReport"]
-
-
-@dataclass
-class ServiceReport:
-    """Outcome of one batch served concurrently.
-
-    ``outcomes`` is ordered like the submitted queries (None where that
-    query raised); ``errors`` pairs each failed query's index with the
-    exception; ``per_worker`` counts answered queries by worker-thread
-    name, showing how the batch spread over the pool.
-    """
-
-    outcomes: List[Optional[object]] = field(default_factory=list)
-    errors: List[Tuple[int, Exception]] = field(default_factory=list)
-    per_worker: Dict[str, int] = field(default_factory=dict)
-
-    @property
-    def answered(self) -> int:
-        return sum(1 for o in self.outcomes if o is not None)
-
-    def summary(self) -> str:
-        lanes = ", ".join(
-            f"{name}: {count}" for name, count in sorted(self.per_worker.items())
-        )
-        return (
-            f"{self.answered}/{len(self.outcomes)} answered, "
-            f"{len(self.errors)} errors; per worker: {lanes or 'none'}"
-        )
-
-
-class QueryService:
-    """Serve constrained skyline queries concurrently from one engine.
-
-    ``workers`` bounds the number of in-flight queries (independent of the
-    engine's own fetch parallelism -- a 4-worker service over a 4-worker
-    engine can have 16 range queries in flight).  The pool is created
-    lazily and shut down by :meth:`close` / the context manager.
-    """
-
-    def __init__(
-        self,
-        engine,
-        workers: int = 4,
-        slo: Optional[SLOSpec] = None,
-        window_s: float = 60.0,
-    ):
-        """``slo`` tunes the health verdict (defaults to
-        :class:`~repro.obs.health.SLOSpec`'s budgets); ``window_s`` sizes
-        the rolling window :meth:`health` judges."""
-        if workers < 1:
-            raise ValueError("workers must be at least 1")
-        self.engine = engine
-        self.workers = int(workers)
-        self._pool: Optional[ThreadPoolExecutor] = None
-        self._lock = threading.Lock()
-        self._per_worker: Dict[str, int] = {}
-        # Engines other than CBCS (Baseline, BBS) have no query_id kwarg,
-        # no resilience, and no cache; probe once instead of per request.
-        self._accepts_query_id = (
-            "query_id" in inspect.signature(engine.query).parameters
-        )
-        obs = getattr(engine, "obs", None)
-        self._obs = obs if obs is not None and obs.enabled else None
-        resilience = getattr(engine, "resilience", None)
-        cache = getattr(engine, "cache", None)
-        self.window = RollingWindow(window_s=window_s)
-        self.monitor = HealthMonitor(
-            self.window,
-            slo=slo,
-            breaker=getattr(resilience, "breaker", None),
-            quarantined=(
-                (lambda: cache.quarantined) if cache is not None else None
-            ),
-            metrics=self._obs.metrics if self._obs is not None else None,
-        )
-
-    # ------------------------------------------------------------------
-    # Serving
-    # ------------------------------------------------------------------
-    def submit(self, constraints) -> Future:
-        """Enqueue one query; returns a Future of its ``QueryOutcome``."""
-        return self._ensure_pool().submit(self._answer, constraints)
-
-    def run(self, queries) -> ServiceReport:
-        """Answer a batch concurrently; returns an ordered report.
-
-        Results come back in submission order regardless of completion
-        order.  A query that raises (e.g. storage faults with resilience
-        off) is reported in ``errors`` instead of aborting the batch.
-        """
-        baseline = self.per_worker
-        futures = [self.submit(c) for c in queries]
-        report = ServiceReport()
-        for i, future in enumerate(futures):
-            try:
-                report.outcomes.append(future.result())
-            except Exception as exc:  # noqa: BLE001 - reported, not hidden
-                report.outcomes.append(None)
-                report.errors.append((i, exc))
-        report.per_worker = {
-            name: count - baseline.get(name, 0)
-            for name, count in self.per_worker.items()
-            if count - baseline.get(name, 0)
-        }
-        return report
-
-    def _answer(self, constraints):
-        try:
-            if self._obs is not None and self._accepts_query_id:
-                outcome = self.engine.query(
-                    constraints, query_id=self._obs.correlation.new_id()
-                )
-            else:
-                outcome = self.engine.query(constraints)
-        except Exception:
-            self.window.record_error()
-            raise
-        self.window.record(
-            total_ms=outcome.total_ms,
-            cache_hit=outcome.cache_hit,
-            degraded=outcome.degraded,
-            stale=outcome.stale,
-        )
-        worker = threading.current_thread().name
-        with self._lock:
-            self._per_worker[worker] = self._per_worker.get(worker, 0) + 1
-        return outcome
-
-    def health(self) -> HealthReport:
-        """Judge the current rolling window against the configured SLO."""
-        return self.monitor.report()
-
-    @property
-    def per_worker(self) -> Dict[str, int]:
-        """Lifetime answered-query counts by worker-thread name."""
-        with self._lock:
-            return dict(self._per_worker)
-
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
-    def _ensure_pool(self) -> ThreadPoolExecutor:
-        with self._lock:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.workers, thread_name_prefix="cbcs-svc"
-                )
-            return self._pool
-
-    def close(self) -> None:
-        """Drain in-flight queries and shut the pool down (idempotent)."""
-        with self._lock:
-            pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=True)
-
-    def __enter__(self) -> "QueryService":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    def __repr__(self) -> str:
-        return f"QueryService(engine={self.engine!r}, workers={self.workers})"
+__all__ = [
+    "QueryService",
+    "ServiceReport",
+    "RequestRejected",
+    "AdmissionPolicy",
+    "AdmissionController",
+    "IngressQueue",
+    "QueueStats",
+    "InFlightTable",
+    "can_coalesce",
+    "PRIORITIES",
+    "DEFAULT_PRIORITY",
+    "KIND_DEDUP",
+    "KIND_SUBSUMED",
+    "STATUS_ANSWERED",
+    "STATUS_REJECTED_QUEUE_FULL",
+    "STATUS_SHED",
+    "STATUS_DEADLINE_EXCEEDED",
+]

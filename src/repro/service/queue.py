@@ -1,0 +1,155 @@
+"""Bounded priority ingress queue with explicit backpressure.
+
+The queue in front of :class:`~repro.service.service.QueryService` is the
+overload boundary: it has a hard capacity, enqueueing *never blocks* (a
+full queue is reported to the caller as a typed ``rejected_queue_full``
+outcome, not an unbounded wait), and requests drain in priority order --
+``interactive`` before ``normal`` before ``batch``, FIFO within a class.
+
+This mirrors PartitionCache's two-tier ``queue_handler`` split between
+accepting work and executing it: producers only ever pay an O(log n) heap
+push under a lock, and the service's worker threads block on the consumer
+side where blocking is cheap.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "PRIORITIES",
+    "PRIORITY_RANK",
+    "DEFAULT_PRIORITY",
+    "IngressQueue",
+    "QueueStats",
+]
+
+#: Priority classes, highest first.  Shedding drops the back of this list
+#: first; the queue drains the front of it first.
+PRIORITIES: Tuple[str, ...] = ("interactive", "normal", "batch")
+PRIORITY_RANK: Dict[str, int] = {name: rank for rank, name in enumerate(PRIORITIES)}
+DEFAULT_PRIORITY = "normal"
+
+
+def priority_rank(priority: str) -> int:
+    """Validate a priority-class name and return its drain rank."""
+    try:
+        return PRIORITY_RANK[priority]
+    except KeyError:
+        raise ValueError(
+            f"unknown priority {priority!r}; expected one of {PRIORITIES}"
+        ) from None
+
+
+@dataclass
+class QueueStats:
+    """Monotonic counters describing one queue's lifetime."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    rejected_full: int = 0
+    high_watermark: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "enqueued": self.enqueued,
+            "dequeued": self.dequeued,
+            "rejected_full": self.rejected_full,
+            "high_watermark": self.high_watermark,
+        }
+
+
+@dataclass(order=True)
+class _HeapItem:
+    rank: int
+    seq: int
+    item: object = field(compare=False)
+
+
+class IngressQueue:
+    """A bounded, priority-ordered, close-drainable MPMC queue.
+
+    - :meth:`try_put` is non-blocking: it returns False when the queue is
+      at capacity (the caller turns that into a typed rejection).
+    - :meth:`get` blocks until an item is available or the queue is closed
+      *and* drained, then returns None -- the consumer's exit signal.
+    - ``force=True`` puts bypass the capacity bound and the closed flag;
+      they exist for re-dispatching already-admitted work (coalesced
+      followers falling back to their own execution) which must not be
+      re-rejected at the door it already passed through.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        self.capacity = int(capacity)
+        self.stats = QueueStats()
+        self._heap: List[_HeapItem] = []
+        self._seq = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def try_put(self, item, priority: str = DEFAULT_PRIORITY, *, force: bool = False) -> bool:
+        """Enqueue without blocking; False when full (or closed) and not
+        forced."""
+        import heapq
+
+        rank = priority_rank(priority)
+        with self._lock:
+            if not force and (self._closed or len(self._heap) >= self.capacity):
+                self.stats.rejected_full += 1
+                return False
+            self._seq += 1
+            heapq.heappush(self._heap, _HeapItem(rank, self._seq, item))
+            self.stats.enqueued += 1
+            self.stats.high_watermark = max(
+                self.stats.high_watermark, len(self._heap)
+            )
+            self._not_empty.notify()
+            return True
+
+    def get(self, timeout: Optional[float] = None):
+        """Dequeue the highest-priority item, blocking while the queue is
+        open and empty.  Returns None once the queue is closed and drained
+        (or on timeout)."""
+        import heapq
+
+        with self._not_empty:
+            while True:
+                if self._heap:
+                    entry = heapq.heappop(self._heap)
+                    self.stats.dequeued += 1
+                    return entry.item
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+
+    def close(self) -> None:
+        """Refuse further (unforced) puts and wake every blocked consumer;
+        items already queued still drain."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def __len__(self) -> int:
+        return self.depth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IngressQueue(depth={self.depth}, capacity={self.capacity}, "
+            f"closed={self.closed})"
+        )

@@ -1,0 +1,601 @@
+"""The overload-safe concurrent serving front for the CBCS engine.
+
+Requests flow through four stages, each with an explicit, typed outcome:
+
+1. **Coalesce** (:mod:`repro.service.coalesce`): a request identical to an
+   in-flight query joins its execution (*dedup*); one whose region is a
+   pure upper-bound shrink of an in-flight region is answered from that
+   result via the paper's case analysis (*subsumed*).  Joined requests
+   consume no queue slot and no storage work.
+2. **Admission** (:mod:`repro.service.admission`): under overload --
+   queue depth or observed p99 over the per-priority-class thresholds --
+   the request resolves to a typed ``shed`` outcome.
+3. **Ingress queue** (:mod:`repro.service.queue`): bounded, priority-
+   ordered; a full queue resolves the request to ``rejected_queue_full``
+   instead of blocking the caller.
+4. **Execution**: a worker thread drains the queue and runs the shared
+   engine.  A per-request deadline (armed at submit, so queue wait counts)
+   rides into the engine's retry/degradation machinery; an expired
+   deadline yields the stale-flagged best answer so far or a typed
+   ``deadline_exceeded`` outcome -- never a silent hang.
+
+Accounting closes exactly: every submitted request ends as *answered* (a
+:class:`~repro.stats.QueryOutcome`), a typed :class:`RequestRejected`
+(``shed`` / ``rejected_queue_full`` / ``deadline_exceeded``), or an error
+reported through its future.  Coalesced answers are bit-identical to
+standalone execution and carry their own ``query_id`` plus ``served_by``
+naming the executing query.
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cases import CASE_EXACT
+from repro.obs import bind
+from repro.obs.health import HealthMonitor, HealthReport, SLOSpec
+from repro.obs.window import RollingWindow
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import DeadlineExceeded
+from repro.service.admission import AdmissionController, AdmissionPolicy
+from repro.service.coalesce import (
+    KIND_DEDUP,
+    InFlightTable,
+    derive_follower_skyline,
+    follower_case,
+)
+from repro.service.queue import DEFAULT_PRIORITY, IngressQueue, priority_rank
+from repro.stats import QueryOutcome, StageTimings
+
+__all__ = [
+    "QueryService",
+    "ServiceReport",
+    "RequestRejected",
+    "STATUS_ANSWERED",
+    "STATUS_REJECTED_QUEUE_FULL",
+    "STATUS_SHED",
+    "STATUS_DEADLINE_EXCEEDED",
+]
+
+#: Typed terminal statuses of a submitted request.
+STATUS_ANSWERED = "answered"
+STATUS_REJECTED_QUEUE_FULL = "rejected_queue_full"
+STATUS_SHED = "shed"
+STATUS_DEADLINE_EXCEEDED = "deadline_exceeded"
+
+REJECTED_STATUSES = (
+    STATUS_REJECTED_QUEUE_FULL,
+    STATUS_SHED,
+    STATUS_DEADLINE_EXCEEDED,
+)
+
+
+@dataclass
+class RequestRejected:
+    """A typed non-answer: the request was shed, bounced off a full queue,
+    or ran out of deadline.  Carries its own correlation ``query_id`` so
+    rejected traffic is first-class in logs and joins."""
+
+    status: str
+    priority: str
+    reason: str
+    query_id: Optional[str] = None
+
+    def as_record(self) -> dict:
+        return {
+            "query_id": self.query_id,
+            "status": self.status,
+            "priority": self.priority,
+            "reason": self.reason,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RequestRejected(status={self.status!r}, "
+            f"priority={self.priority!r}, reason={self.reason!r})"
+        )
+
+
+class _Request:
+    """One submitted query riding through the ingress pipeline."""
+
+    __slots__ = (
+        "constraints",
+        "priority",
+        "deadline",
+        "future",
+        "query_id",
+        "entry",
+        "submitted_at",
+    )
+
+    def __init__(self, constraints, priority, deadline, query_id):
+        self.constraints = constraints
+        self.priority = priority
+        self.deadline = deadline
+        self.future: Future = Future()
+        self.query_id = query_id
+        self.entry = None
+        self.submitted_at = time.perf_counter()
+
+
+@dataclass
+class ServiceReport:
+    """Outcome of one batch served concurrently.
+
+    ``outcomes`` is ordered like the submitted queries: a
+    :class:`~repro.stats.QueryOutcome` when answered, a
+    :class:`RequestRejected` when typed-rejected, None where that query
+    raised; ``errors`` pairs each failed query's index with the exception;
+    ``per_worker`` counts answered queries by worker-thread name, showing
+    how the batch spread over the pool.
+    """
+
+    outcomes: List[Optional[object]] = field(default_factory=list)
+    errors: List[Tuple[int, Exception]] = field(default_factory=list)
+    per_worker: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def answered(self) -> int:
+        return sum(
+            1
+            for o in self.outcomes
+            if o is not None and getattr(o, "skyline", None) is not None
+        )
+
+    @property
+    def rejections(self) -> List[RequestRejected]:
+        return [o for o in self.outcomes if isinstance(o, RequestRejected)]
+
+    def rejected(self, status: Optional[str] = None) -> int:
+        """Count of typed rejections, optionally filtered by status."""
+        return sum(
+            1 for r in self.rejections if status is None or r.status == status
+        )
+
+    @property
+    def accounted(self) -> bool:
+        """True iff every submission ended somewhere explicit: answered,
+        typed-rejected, or a reported error.  (None outcomes are exactly
+        the errored indices, so this closes by construction -- kept as an
+        executable statement of the no-silent-drops invariant.)"""
+        return len(self.outcomes) == (
+            self.answered + self.rejected() + len(self.errors)
+        )
+
+    def summary(self) -> str:
+        lanes = ", ".join(
+            f"{name}: {count}" for name, count in sorted(self.per_worker.items())
+        )
+        rejected = self.rejected()
+        rej = f", {rejected} rejected" if rejected else ""
+        return (
+            f"{self.answered}/{len(self.outcomes)} answered{rej}, "
+            f"{len(self.errors)} errors; per worker: {lanes or 'none'}"
+        )
+
+
+class QueryService:
+    """Serve constrained skyline queries concurrently from one engine.
+
+    ``workers`` bounds the number of concurrently *executing* queries
+    (independent of the engine's own fetch parallelism -- a 4-worker
+    service over a 4-worker engine can have 16 range queries in flight).
+    Worker threads and the ingress queue are created lazily and shut down
+    by :meth:`close` / the context manager.
+
+    ``policy`` (an :class:`~repro.service.admission.AdmissionPolicy`)
+    sizes the ingress queue and sets the shedding thresholds; the default
+    policy never sheds below a 90%-full 4096-slot queue, so a service with
+    headroom behaves exactly like a plain bounded pool.  ``coalesce=False``
+    disables in-flight deduplication and subsumption coalescing.
+    """
+
+    def __init__(
+        self,
+        engine,
+        workers: int = 4,
+        slo: Optional[SLOSpec] = None,
+        window_s: float = 60.0,
+        policy: Optional[AdmissionPolicy] = None,
+        coalesce: bool = True,
+    ):
+        """``slo`` tunes the health verdict (defaults to
+        :class:`~repro.obs.health.SLOSpec`'s budgets); ``window_s`` sizes
+        the rolling window :meth:`health` judges."""
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.engine = engine
+        self.workers = int(workers)
+        self._coalesce_enabled = bool(coalesce)
+        self._admission = AdmissionController(policy)
+        self._queue: Optional[IngressQueue] = None
+        self._threads: List[threading.Thread] = []
+        self._inflight = InFlightTable()
+        self._lock = threading.Lock()
+        self._per_worker: Dict[str, int] = {}
+        self._executing = 0
+        self._counters: Dict[str, int] = {
+            "submitted": 0,
+            STATUS_ANSWERED: 0,
+            STATUS_REJECTED_QUEUE_FULL: 0,
+            STATUS_SHED: 0,
+            STATUS_DEADLINE_EXCEEDED: 0,
+            "errors": 0,
+            "coalesced_dedup": 0,
+            "coalesced_subsumed": 0,
+        }
+        # Engines other than CBCS (Baseline, BBS) have no query_id/deadline
+        # kwargs, no resilience, and no cache; probe once, not per request.
+        params = inspect.signature(engine.query).parameters
+        self._accepts_query_id = "query_id" in params
+        self._accepts_deadline = "deadline" in params
+        obs = getattr(engine, "obs", None)
+        self._obs = obs if obs is not None and obs.enabled else None
+        resilience = getattr(engine, "resilience", None)
+        cache = getattr(engine, "cache", None)
+        self.window = RollingWindow(window_s=window_s)
+        self.monitor = HealthMonitor(
+            self.window,
+            slo=slo,
+            breaker=getattr(resilience, "breaker", None),
+            quarantined=(
+                (lambda: cache.quarantined) if cache is not None else None
+            ),
+            metrics=self._obs.metrics if self._obs is not None else None,
+            service_stats=self.stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        constraints,
+        priority: str = DEFAULT_PRIORITY,
+        deadline_ms=None,
+    ) -> Future:
+        """Enqueue one query; returns a Future of its terminal outcome.
+
+        The future resolves to a :class:`~repro.stats.QueryOutcome` when
+        answered or a typed :class:`RequestRejected` when shed, bounced off
+        a full queue, or expired past its deadline; it raises only when the
+        engine itself raised (e.g. storage faults with resilience off).
+        ``deadline_ms`` arms the request's end-to-end budget *now*, so time
+        spent queued counts against it.
+        """
+        priority_rank(priority)  # validate before any side effects
+        self._ensure_workers()
+        query_id = (
+            self._obs.correlation.new_id() if self._obs is not None else None
+        )
+        req = _Request(
+            constraints, priority, Deadline.normalize(deadline_ms), query_id
+        )
+        with self._lock:
+            self._counters["submitted"] += 1
+        if self._coalesce_enabled and self._inflight.try_join(req) is not None:
+            return req.future
+        snapshot = (
+            self.window.snapshot()
+            if self._admission.policy.latency_aware
+            else None
+        )
+        reason = self._admission.decide(priority, self._queue.depth, snapshot)
+        if reason is not None:
+            return self._reject(req, STATUS_SHED, reason)
+        if self._coalesce_enabled and self._inflight.register(req) is not None:
+            return req.future  # raced: a compatible leader appeared; joined it
+        if not self._queue.try_put(req, priority):
+            for follower, _ in self._inflight.finish(req):
+                self._redispatch(follower)
+            return self._reject(
+                req,
+                STATUS_REJECTED_QUEUE_FULL,
+                f"ingress queue full ({self._queue.capacity} slots)",
+            )
+        self._publish_gauges()
+        return req.future
+
+    def run(
+        self,
+        queries,
+        priority: str = DEFAULT_PRIORITY,
+        deadline_ms=None,
+    ) -> ServiceReport:
+        """Answer a batch concurrently; returns an ordered report.
+
+        Results come back in submission order regardless of completion
+        order.  A query that raises (e.g. storage faults with resilience
+        off) is reported in ``errors`` instead of aborting the batch;
+        typed rejections appear in ``outcomes`` as
+        :class:`RequestRejected`.
+        """
+        baseline = self.per_worker
+        futures = [
+            self.submit(c, priority=priority, deadline_ms=deadline_ms)
+            for c in queries
+        ]
+        report = ServiceReport()
+        for i, future in enumerate(futures):
+            try:
+                report.outcomes.append(future.result())
+            except Exception as exc:  # noqa: BLE001 - reported, not hidden
+                report.outcomes.append(None)
+                report.errors.append((i, exc))
+        report.per_worker = {
+            name: count - baseline.get(name, 0)
+            for name, count in self.per_worker.items()
+            if count - baseline.get(name, 0)
+        }
+        return report
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _worker_loop(self, queue: IngressQueue) -> None:
+        while True:
+            req = queue.get()
+            if req is None:
+                return
+            self._serve(req)
+
+    def _serve(self, req: _Request) -> None:
+        with self._lock:
+            self._executing += 1
+        try:
+            wait_ms = (time.perf_counter() - req.submitted_at) * 1000.0
+            if self._obs is not None:
+                self._obs.metrics.observe(
+                    "service_queue_wait_ms", wait_ms, priority=req.priority
+                )
+            if req.deadline is not None and req.deadline.expired:
+                self._abandon_followers(req)
+                self._reject(
+                    req,
+                    STATUS_DEADLINE_EXCEEDED,
+                    f"deadline of {req.deadline.budget_ms:.1f}ms expired "
+                    f"before execution ({wait_ms:.1f}ms of it queued)",
+                )
+                return
+            try:
+                outcome = self._execute(req)
+            except DeadlineExceeded as exc:
+                self._abandon_followers(req)
+                self._reject(req, STATUS_DEADLINE_EXCEEDED, str(exc))
+                return
+            except Exception as exc:  # noqa: BLE001 - typed via the future
+                self.window.record_error()
+                with self._lock:
+                    self._counters["errors"] += 1
+                if self._obs is not None:
+                    self._obs.metrics.inc(
+                        "service_requests_total",
+                        status="error",
+                        priority=req.priority,
+                    )
+                self._abandon_followers(req)
+                req.future.set_exception(exc)
+                return
+            self._record_answer(req, outcome)
+            self._resolve_followers(req, outcome)
+        finally:
+            with self._lock:
+                self._executing -= 1
+            self._publish_gauges()
+
+    def _execute(self, req: _Request):
+        kwargs = {}
+        if req.query_id is not None and self._accepts_query_id:
+            kwargs["query_id"] = req.query_id
+        if req.deadline is not None and self._accepts_deadline:
+            kwargs["deadline"] = req.deadline
+        return self.engine.query(req.constraints, **kwargs)
+
+    def _record_answer(self, req: _Request, outcome) -> None:
+        self.window.record(
+            total_ms=outcome.total_ms,
+            cache_hit=outcome.cache_hit,
+            degraded=outcome.degraded,
+            stale=outcome.stale,
+        )
+        worker = threading.current_thread().name
+        with self._lock:
+            self._per_worker[worker] = self._per_worker.get(worker, 0) + 1
+            self._counters[STATUS_ANSWERED] += 1
+        if self._obs is not None:
+            self._obs.metrics.inc(
+                "service_requests_total",
+                status=STATUS_ANSWERED,
+                priority=req.priority,
+            )
+        req.future.set_result(outcome)
+
+    # ------------------------------------------------------------------
+    # Followers (dedup / subsumption coalescing)
+    # ------------------------------------------------------------------
+    def _resolve_followers(self, req: _Request, outcome) -> None:
+        if not self._coalesce_enabled:
+            return
+        followers = self._inflight.finish(req)
+        if not followers:
+            return
+        # Only a clean exact answer may be shared; a degraded, stale, or
+        # unavailable parent would hand followers a flagged/partial answer
+        # their own execution might beat -- they fall back instead.
+        shareable = outcome.degraded is None and not outcome.stale
+        for follower, kind in followers:
+            if shareable:
+                self._resolve_follower(follower, kind, req, outcome)
+            else:
+                self._redispatch(follower)
+
+    def _abandon_followers(self, req: _Request) -> None:
+        """The leader failed or timed out: its followers must not inherit
+        that -- each falls back to its own execution."""
+        if not self._coalesce_enabled:
+            return
+        for follower, _ in self._inflight.finish(req):
+            self._redispatch(follower)
+
+    def _resolve_follower(self, follower, kind, leader: _Request, outcome) -> None:
+        if kind == KIND_DEDUP:
+            skyline = outcome.skyline.copy()
+            case = CASE_EXACT
+        else:
+            skyline = derive_follower_skyline(
+                leader.constraints, follower.constraints, outcome.skyline
+            )
+            case = follower_case(leader.constraints, follower.constraints)
+        child = QueryOutcome(
+            skyline=skyline,
+            method=outcome.method,
+            timings=StageTimings(),
+            case=case,
+            stable=True,
+            cache_hit=True,
+            query_id=follower.query_id,
+            served_by=outcome.query_id or leader.query_id,
+        )
+        with self._lock:
+            self._counters[f"coalesced_{kind}"] += 1
+        if self._obs is not None:
+            self._obs.metrics.inc("service_coalesced_total", kind=kind)
+            with bind(follower.query_id):
+                # A zero-duration event span joins the piggybacked request
+                # to its own query_id; correlation follows `served_by` from
+                # the outcome record to the executing query's spans.
+                self._obs.tracer.record(
+                    "service.coalesced", 0.0, kind=kind, served_by=child.served_by
+                )
+            self._obs.record_outcome(child)
+        self._record_answer(follower, child)
+
+    def _redispatch(self, req: _Request) -> None:
+        """Force-requeue an already-admitted follower for its own
+        execution (it may instead join another live leader)."""
+        req.entry = None
+        if self._coalesce_enabled and self._inflight.register(req) is not None:
+            return
+        queue = self._queue
+        if queue is not None:
+            queue.try_put(req, req.priority, force=True)
+
+    # ------------------------------------------------------------------
+    # Typed rejections + stats
+    # ------------------------------------------------------------------
+    def _reject(self, req: _Request, status: str, reason: str) -> Future:
+        with self._lock:
+            self._counters[status] += 1
+        if self._obs is not None:
+            self._obs.metrics.inc(
+                "service_requests_total", status=status, priority=req.priority
+            )
+            with bind(req.query_id):
+                self._obs.tracer.record(
+                    "service.rejected", 0.0, status=status, priority=req.priority
+                )
+        req.future.set_result(
+            RequestRejected(
+                status=status,
+                priority=req.priority,
+                reason=reason,
+                query_id=req.query_id,
+            )
+        )
+        return req.future
+
+    def _publish_gauges(self) -> None:
+        if self._obs is None:
+            return
+        queue = self._queue
+        with self._lock:
+            executing = self._executing
+        self._obs.metrics.set_gauge(
+            "service_queue_depth", float(queue.depth if queue is not None else 0)
+        )
+        self._obs.metrics.set_gauge("service_executing", float(executing))
+
+    def stats(self) -> dict:
+        """A consistent snapshot of the ingress pipeline: queue depth and
+        capacity, executing/in-flight counts, and the typed-outcome
+        counters.  This feeds ``health()`` and the ``--watch`` dashboard."""
+        with self._lock:
+            counters = dict(self._counters)
+            executing = self._executing
+        queue = self._queue
+        return {
+            "queue_depth": queue.depth if queue is not None else 0,
+            "queue_capacity": self._admission.policy.capacity,
+            "queue_high_watermark": (
+                queue.stats.high_watermark if queue is not None else 0
+            ),
+            "executing": executing,
+            "in_flight": len(self._inflight),
+            "shed_by_class": dict(self._admission.shed_by_class),
+            "coalesced": counters["coalesced_dedup"]
+            + counters["coalesced_subsumed"],
+            **counters,
+        }
+
+    def health(self) -> HealthReport:
+        """Judge the current rolling window against the configured SLO."""
+        return self.monitor.report()
+
+    @property
+    def per_worker(self) -> Dict[str, int]:
+        """Lifetime answered-query counts by worker-thread name."""
+        with self._lock:
+            return dict(self._per_worker)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_workers(self) -> IngressQueue:
+        with self._lock:
+            if self._queue is None:
+                self._queue = IngressQueue(self._admission.policy.capacity)
+                self._inflight = InFlightTable()
+                self._threads = [
+                    threading.Thread(
+                        target=self._worker_loop,
+                        args=(self._queue,),
+                        name=f"cbcs-svc_{i}",
+                        daemon=True,
+                    )
+                    for i in range(self.workers)
+                ]
+                for thread in self._threads:
+                    thread.start()
+            return self._queue
+
+    def close(self) -> None:
+        """Drain queued and in-flight requests, then stop the workers
+        (idempotent; the queue and workers lazily recreate on the next
+        submit)."""
+        with self._lock:
+            queue = self._queue
+            threads = list(self._threads)
+        if queue is None:
+            return
+        queue.close()
+        for thread in threads:
+            thread.join()
+        with self._lock:
+            if self._queue is queue:
+                self._queue = None
+                self._threads = []
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"QueryService(engine={self.engine!r}, workers={self.workers})"

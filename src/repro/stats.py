@@ -88,6 +88,12 @@ class QueryOutcome:
     #: is disabled); the same id is stamped on every trace span and metric
     #: exemplar of this query -- see :mod:`repro.obs.correlate`
     query_id: Optional[str] = None
+    #: for a deduplicated/coalesced request: the ``query_id`` of the
+    #: in-flight query whose execution answered this one (the piggybacked
+    #: request keeps its *own* ``query_id``; correlation joins follow this
+    #: field to the executing query's spans).  None for directly executed
+    #: queries.
+    served_by: Optional[str] = None
 
     @property
     def skyline_size(self) -> int:
@@ -131,6 +137,7 @@ class QueryOutcome:
             "degraded": self.degraded,
             "stale": self.stale,
             "retries": self.retries,
+            "served_by": self.served_by,
         }
 
 

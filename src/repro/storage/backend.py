@@ -95,6 +95,11 @@ class ResilientBackend(BackendDecorator):
 
         res = self.resilience
         state = retry_state if retry_state is not None else res.new_state()
+        # An already-expired per-request deadline fails fast without
+        # touching the disk or charging the breaker: rejected work is not
+        # evidence of storage health either way.
+        if state.deadline is not None:
+            state.deadline.check(op)
         res.breaker.allow()  # raises CircuitOpenError while open
 
         def attempt():
@@ -108,6 +113,10 @@ class ResilientBackend(BackendDecorator):
             res.breaker.record_failure()
             raise
         res.breaker.record_success()
+        if state.deadline is not None:
+            # Simulated disk time counts against the request budget just
+            # like real wall-clock time; expiry surfaces at the next box.
+            state.deadline.charge(result.io_ms)
         return result
 
     def range_query(

@@ -151,3 +151,53 @@ class WorkloadGenerator:
         while True:
             query = self.refine(query)
             yield query
+
+    def zipf_stream(
+        self,
+        n: int,
+        universe: int = 50,
+        alpha: float = 1.1,
+        shrink_fraction: float = 0.3,
+        max_shrink: float = 0.2,
+    ) -> List[Constraints]:
+        """A zipf-skewed multi-user serving stream of ``n`` queries.
+
+        Real concurrent traffic is popularity-skewed: a handful of "head"
+        regions draw most requests.  This models it by drawing each request
+        from a fixed ``universe`` of base queries with rank-``k``
+        probability proportional to ``1/k**alpha`` -- so identical requests
+        recur (in-flight *dedup* opportunities) -- and, with probability
+        ``shrink_fraction``, narrowing the drawn query by moving one or
+        more *upper* bounds down by up to ``max_shrink`` of the interval
+        width.  A shrunken variant keeps every lower bound, so whenever its
+        base query is in flight it is exactly the subsumption-coalescible
+        geometry (generalized Theorem 3); it also exercises the cache's
+        case-b path on repeats.  Deterministic given the generator's seed.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if universe < 1:
+            raise ValueError("universe must be at least 1")
+        if not 0.0 <= shrink_fraction <= 1.0:
+            raise ValueError("shrink_fraction must be in [0, 1]")
+        rng = self._rng
+        bases = [self.initial_query() for _ in range(universe)]
+        ranks = np.arange(1, universe + 1, dtype=float)
+        probs = ranks**-float(alpha)
+        probs /= probs.sum()
+        out: List[Constraints] = []
+        for _ in range(n):
+            base = bases[int(rng.choice(universe, p=probs))]
+            if rng.random() >= shrink_fraction:
+                out.append(base)
+                continue
+            lo, hi = base.lo.copy(), base.hi.copy()
+            dims = rng.random(self.ndim) < 0.5
+            if not dims.any():
+                dims[int(rng.integers(self.ndim))] = True
+            for dim in np.flatnonzero(dims):
+                width = hi[dim] - lo[dim]
+                shrink = float(rng.uniform(0.0, max_shrink)) * width
+                hi[dim] = max(hi[dim] - shrink, lo[dim] + self.min_width[dim])
+            out.append(Constraints(lo, hi))
+        return out

@@ -1,0 +1,234 @@
+"""Tests for the open-loop overload soak and its regression wiring."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.regress import (
+    Thresholds,
+    build_snapshot,
+    compare_snapshots,
+    summarize_registry,
+)
+from repro.bench.serving import PacedEngine, ServingReport, run_overload_soak
+from repro.obs.metrics import MetricsRegistry
+from repro.stats import QueryOutcome, StageTimings
+
+
+class TestServingReport:
+    def report(self, **overrides):
+        kwargs = dict(
+            profile="none",
+            seed=0,
+            workers=2,
+            n_requests=10,
+            rate_multiplier=2.0,
+            submitted=10,
+            answered=7,
+            shed=2,
+            rejected_queue_full=1,
+            coalesced_dedup=2,
+            coalesced_subsumed=1,
+            p50_ms=5.0,
+            p95_ms=9.0,
+            p99_ms=10.0,
+            p99_limit_ms=100.0,
+        )
+        kwargs.update(overrides)
+        return ServingReport(**kwargs)
+
+    def test_closed_accounting_passes(self):
+        report = self.report()
+        assert report.accounting_closed
+        assert report.coalesced == 3
+        assert report.shed_rate == pytest.approx(0.3)
+        assert report.coalesce_rate == pytest.approx(0.3)
+        assert report.passed
+
+    def test_a_leaked_request_fails(self):
+        report = self.report(answered=6)  # one request vanished
+        assert not report.accounting_closed
+        assert not report.passed
+
+    def test_incorrect_answer_fails(self):
+        assert not self.report(incorrect_answers=1).passed
+
+    def test_unhandled_exception_fails(self):
+        assert not self.report(unhandled_exceptions=1).passed
+
+    def test_unbounded_p99_fails(self):
+        report = self.report(p99_ms=500.0)
+        assert not report.p99_bounded
+        assert not report.passed
+
+    def test_p99_bound_is_vacuous_with_no_answers(self):
+        report = self.report(
+            answered=0, shed=9, rejected_queue_full=1, p99_ms=float("nan")
+        )
+        assert report.p99_bounded
+        assert report.accounting_closed
+
+    def test_missing_coalescing_fails(self):
+        report = self.report(
+            coalesced_dedup=0, coalesced_subsumed=0, min_coalesced=1
+        )
+        assert not report.passed
+
+    def test_as_dict_serializes_verdict_inputs(self):
+        import json
+
+        payload = json.loads(json.dumps(self.report().as_dict()))
+        assert payload["passed"] is True
+        assert payload["accounting_closed"] is True
+        assert payload["coalesced"] == 3
+        assert payload["shed_rate"] == pytest.approx(0.3)
+
+    def test_render_text_mentions_the_verdict(self):
+        text = self.report().render_text()
+        assert "CLOSED" in text and "PASS" in text
+        leaked = self.report(answered=6).render_text()
+        assert "LEAK" in leaked and "FAIL" in leaked
+
+
+class _InstantEngine:
+    """Zero-cost engine so PacedEngine's floor is the only wall time."""
+
+    def __init__(self, total_ms=0.0):
+        self._outcome = QueryOutcome(
+            skyline=np.empty((0, 2)),
+            method="instant",
+            timings=StageTimings(processing_ms=total_ms),
+        )
+        self.closed = False
+
+    def query(self, constraints, query_id=None, deadline=None):
+        return self._outcome
+
+    def close(self):
+        self.closed = True
+
+
+class TestPacedEngine:
+    def test_floor_paces_a_free_answer(self):
+        paced = PacedEngine(_InstantEngine(total_ms=0.0), floor_ms=20.0)
+        t0 = time.perf_counter()
+        paced.query(None)
+        assert (time.perf_counter() - t0) * 1000.0 >= 18.0
+
+    def test_simulated_cost_becomes_wall_time(self):
+        paced = PacedEngine(_InstantEngine(total_ms=40.0), floor_ms=1.0)
+        t0 = time.perf_counter()
+        outcome = paced.query(None)
+        assert (time.perf_counter() - t0) * 1000.0 >= 35.0
+        assert outcome.total_ms == pytest.approx(40.0)
+
+    def test_close_delegates(self):
+        inner = _InstantEngine()
+        PacedEngine(inner).close()
+        assert inner.closed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_overload_soak(n_requests=0)
+        with pytest.raises(ValueError):
+            run_overload_soak(rate_multiplier=0.0)
+
+
+class TestOverloadSoakSmoke:
+    """A tiny but real open-loop soak: every acceptance invariant holds at
+    miniature scale in a few seconds."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_overload_soak(
+            n_requests=40,
+            n_points=800,
+            ndim=3,
+            workers=2,
+            queue_capacity=16,
+            calibration_queries=8,
+            floor_ms=1.0,
+            min_coalesced=0,
+            seed=0,
+        )
+
+    def test_soak_passes(self, report):
+        assert report.passed, report.render_text()
+
+    def test_accounting_closes_exactly(self, report):
+        assert report.submitted == 40
+        assert report.accounting_closed
+        # the per-priority tallies close too
+        total = sum(
+            sum(counts.values()) for counts in report.by_priority.values()
+        )
+        assert total == 40
+
+    def test_admitted_answers_were_bit_checked(self, report):
+        assert report.incorrect_answers == 0
+        assert report.unhandled_exceptions == 0
+        assert report.answered > 0
+
+    def test_latency_was_measured_and_bounded(self, report):
+        assert report.p50_ms <= report.p95_ms <= report.p99_ms
+        assert report.p99_ms <= report.p99_limit_ms
+
+    def test_calibration_derived_the_schedule(self, report):
+        assert report.mean_service_ms > 0
+        assert report.target_rps == pytest.approx(2.0 * report.saturation_rps)
+        assert report.achieved_rps > 0
+
+
+class TestServingRegression:
+    """The serving figure's gauges gate the bench compare with their own
+    generous wall-clock thresholds."""
+
+    def registry(self, p99=100.0):
+        reg = MetricsRegistry()
+        reg.set_gauge("serving_p50_ms", p99 / 4)
+        reg.set_gauge("serving_p95_ms", p99 / 2)
+        reg.set_gauge("serving_p99_ms", p99)
+        reg.set_gauge("serving_shed_rate", 0.1)
+        reg.set_gauge("serving_coalesce_rate", 0.4)
+        reg.set_gauge("serving_deadline_exceeded", 1.0)
+        reg.set_gauge("serving_submitted", 200.0)
+        reg.set_gauge("serving_answered", 180.0)
+        reg.set_gauge("serving_target_rps", 500.0)
+        return reg
+
+    def snapshot(self, p99=100.0, run_id="base"):
+        figures = {
+            "serving": {
+                "title": "t",
+                "seconds": 1.0,
+                **summarize_registry(self.registry(p99=p99)),
+            }
+        }
+        return build_snapshot(
+            scale="quick", figures=figures, rev="deadbeef", run_id=run_id
+        )
+
+    def test_summarize_exports_a_serving_section(self):
+        summary = summarize_registry(self.registry())
+        assert summary["serving"]["p99_ms"] == pytest.approx(100.0)
+        assert summary["serving"]["coalesce_rate"] == pytest.approx(0.4)
+
+    def test_small_wall_clock_noise_passes(self):
+        # +40% p99 is under both the 100% relative and 50ms absolute bars
+        report = compare_snapshots(self.snapshot(100.0), self.snapshot(140.0))
+        assert not report.has_regressions
+        assert any(f.metric == "p99_ms" for f in report.findings)
+
+    def test_doubled_latency_with_absolute_margin_regresses(self):
+        report = compare_snapshots(self.snapshot(100.0), self.snapshot(260.0))
+        assert report.has_regressions
+        bad = [f for f in report.findings if f.status == "regressed"]
+        assert any(f.method == "serving" for f in bad)
+
+    def test_thresholds_are_tunable(self):
+        tight = Thresholds(rel_serving=0.1, abs_serving_ms=1.0)
+        report = compare_snapshots(
+            self.snapshot(100.0), self.snapshot(140.0), thresholds=tight
+        )
+        assert report.has_regressions

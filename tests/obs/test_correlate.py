@@ -221,3 +221,83 @@ class TestCorrelateJoin:
         assert main([str(tmp_path), outcomes[0].query_id, "--json"]) == 0
         joined = json.loads(capsys.readouterr().out)
         assert joined["query_id"] == outcomes[0].query_id
+
+
+class _GatedEngine:
+    """Delegates to a real CBCS but blocks in query() until released, so a
+    test can deterministically pile a follower onto an in-flight leader."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.obs = engine.obs
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def query(self, constraints, query_id=None, deadline=None):
+        self.started.set()
+        assert self.release.wait(timeout=10.0)
+        return self.engine.query(constraints, query_id=query_id)
+
+    def close(self):
+        self.engine.close()
+
+
+def _run_coalesced(tmp_path):
+    """Serve two identical queries where the second provably piggybacks;
+    returns (parent_outcome, child_outcome) with artifacts in tmp_path."""
+    from repro.service import QueryService
+
+    obs = Observability()
+    obs.tracer.add_sink(JsonlSink(tmp_path / "trace.jsonl"))
+    obs.add_outcome_sink(JsonlSink(tmp_path / "queries.jsonl"))
+    rng = np.random.default_rng(11)
+    engine = _GatedEngine(CBCS(DiskTable(rng.random((400, 3)), obs=obs), obs=obs))
+    c = Constraints(lo=np.zeros(3), hi=np.full(3, 0.7))
+    with QueryService(engine, workers=1) as svc:
+        leader = svc.submit(c)
+        assert engine.started.wait(timeout=10.0)
+        follower = svc.submit(c)  # joins the in-flight leader
+        engine.release.set()
+        parent = leader.result(timeout=10.0)
+        child = follower.result(timeout=10.0)
+    obs.close()
+    engine.close()
+    assert child.served_by == parent.query_id  # sanity: it did coalesce
+    return parent, child
+
+
+class TestServedByJoin:
+    """Satellite 2: a coalesced request is joinable by its *own* query_id;
+    the join follows ``served_by`` to the executing query's spans."""
+
+    def test_child_outcome_record_carries_served_by(self, tmp_path):
+        parent, child = _run_coalesced(tmp_path)
+        joined = correlate(tmp_path, child.query_id)
+        assert joined["outcome"]["query_id"] == child.query_id
+        assert joined["served_by"] == parent.query_id
+
+    def test_parent_spans_are_joined_one_hop(self, tmp_path):
+        parent, child = _run_coalesced(tmp_path)
+        joined = correlate(tmp_path, child.query_id)
+        # the child's own spans include the zero-duration coalesce event...
+        assert any(s["name"] == "service.coalesced" for s in joined["spans"])
+        # ...and the executing query's real work appears as parent_spans
+        parent_names = {s["name"] for s in joined["parent_spans"]}
+        assert "cbcs.query" in parent_names
+        assert all(
+            s["attrs"]["query_id"] == parent.query_id
+            for s in joined["parent_spans"]
+        )
+
+    def test_directly_executed_query_has_no_parent(self, tmp_path):
+        parent, _child = _run_coalesced(tmp_path)
+        joined = correlate(tmp_path, parent.query_id)
+        assert joined["served_by"] is None
+        assert joined["parent_spans"] == []
+
+    def test_render_mentions_served_by(self, tmp_path):
+        parent, child = _run_coalesced(tmp_path)
+        text = render_correlation(correlate(tmp_path, child.query_id))
+        assert "served by:" in text
+        assert parent.query_id in text
+        assert "cbcs.query" in text  # the parent's spans render too

@@ -168,3 +168,83 @@ class TestExportAndRendering:
     def test_dashboard_on_empty_window(self):
         line = render_dashboard(HealthMonitor(window_with(n=0)).report())
         assert "no traffic" in line
+
+
+class TestOverloadClassification:
+    """The ingress side channel: shed/rejected traffic and queue pressure
+    classify the service degraded even when the answered-query window is
+    clean -- or too empty to judge at all."""
+
+    def service_stats(self, **overrides):
+        stats = {
+            "queue_depth": 0,
+            "queue_capacity": 64,
+            "in_flight": 0,
+            "shed": 0,
+            "rejected_queue_full": 0,
+            "deadline_exceeded": 0,
+        }
+        stats.update(overrides)
+        return stats
+
+    def test_fresh_sheds_degrade_an_insufficient_data_window(self):
+        """Shed traffic never enters the rolling window, so overload must
+        not hide behind the 'insufficient data' early-out."""
+        stats = self.service_stats(shed=7, queue_depth=12)
+        monitor = HealthMonitor(
+            window_with(n=0),
+            slo=SLOSpec(min_queries=10),
+            service_stats=lambda: stats,
+        )
+        report = monitor.report()
+        assert report.status == DEGRADED
+        assert any("overload" in r for r in report.reasons)
+        assert any("insufficient data" in r for r in report.reasons)
+        assert report.service["shed"] == 7
+
+    def test_overload_reason_is_delta_based(self):
+        """Only *new* sheds since the last check degrade; a calm interval
+        after a burst recovers to healthy."""
+        stats = self.service_stats(shed=5)
+        monitor = HealthMonitor(window_with(), service_stats=lambda: stats)
+        assert monitor.report().status == DEGRADED
+        # same totals on the next check: nothing new was shed
+        assert monitor.report().status == HEALTHY
+
+    def test_queue_pressure_degrades_before_any_shedding(self):
+        stats = self.service_stats(queue_depth=52, queue_capacity=64)
+        monitor = HealthMonitor(window_with(), service_stats=lambda: stats)
+        report = monitor.report()
+        assert report.status == DEGRADED
+        assert any("queue under pressure" in r for r in report.reasons)
+
+    def test_rejections_and_expiries_count_as_overload(self):
+        stats = self.service_stats(rejected_queue_full=2, deadline_exceeded=1)
+        monitor = HealthMonitor(window_with(), service_stats=lambda: stats)
+        report = monitor.report()
+        assert report.status == DEGRADED
+        assert any("3 request(s)" in r for r in report.reasons)
+
+    def test_calm_service_stats_change_nothing(self):
+        monitor = HealthMonitor(
+            window_with(), service_stats=lambda: self.service_stats()
+        )
+        report = monitor.report()
+        assert report.status == HEALTHY
+        assert report.service is not None
+
+    def test_dashboard_renders_queue_occupancy(self):
+        stats = self.service_stats(queue_depth=9, shed=2, rejected_queue_full=1)
+        monitor = HealthMonitor(window_with(), service_stats=lambda: stats)
+        line = render_dashboard(monitor.report())
+        assert "queue=9/64" in line
+        assert "shed=3" in line
+
+    def test_overload_survives_as_dict(self):
+        import json
+
+        stats = self.service_stats(shed=4)
+        monitor = HealthMonitor(window_with(), service_stats=lambda: stats)
+        payload = json.loads(json.dumps(monitor.report().as_dict()))
+        assert payload["status"] == DEGRADED
+        assert payload["service"]["shed"] == 4

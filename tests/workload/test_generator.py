@@ -160,3 +160,62 @@ class TestWorkloads:
         assert len(chain) == 5
         for a, b in zip(chain, chain[1:]):
             assert a.overlaps(b)
+
+
+class TestZipfStream:
+    """The serving-bench traffic model: zipf-skewed repeats (dedup bait)
+    and upper-bound-only shrinks (subsumption bait)."""
+
+    def test_exact_length_and_determinism(self, data):
+        a = WorkloadGenerator(data, seed=13).zipf_stream(60, universe=10)
+        b = WorkloadGenerator(data, seed=13).zipf_stream(60, universe=10)
+        assert len(a) == 60
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_head_queries_repeat(self, data):
+        """Zipf skew means the stream is dominated by a few head regions --
+        the whole point: repeats are in-flight dedup opportunities."""
+        stream = WorkloadGenerator(data, seed=5).zipf_stream(
+            100, universe=20, shrink_fraction=0.0
+        )
+        counts = {}
+        for q in stream:
+            counts[q.key()] = counts.get(q.key(), 0) + 1
+        assert len(counts) < 20  # far fewer distinct queries than requests
+        assert max(counts.values()) >= 10  # and a clearly hot head
+
+    def test_shrunken_variants_keep_the_coalescible_geometry(self, data):
+        """Every shrunken variant keeps each lower bound and only moves
+        upper bounds down, so it is exactly the filter-safe geometry of
+        the generalized Theorem 3 (and the cache's case-b path)."""
+        gen = WorkloadGenerator(data, seed=9)
+        # one base region: every unshrunk draw is the base itself, so the
+        # base is recoverable as the element-wise widest query seen
+        stream = gen.zipf_stream(80, universe=1, shrink_fraction=0.6)
+        base_lo = stream[0].lo
+        base_hi = np.max([q.hi for q in stream], axis=0)
+        shrunk = 0
+        for q in stream:
+            assert np.array_equal(q.lo, base_lo)  # lower bounds never move
+            assert np.all(q.hi <= base_hi)
+            if not np.array_equal(q.hi, base_hi):
+                shrunk += 1
+        assert shrunk > 0
+
+    def test_shrink_never_inverts_an_interval(self, data):
+        stream = WorkloadGenerator(data, seed=2).zipf_stream(
+            150, universe=8, shrink_fraction=1.0, max_shrink=0.2
+        )
+        for q in stream:
+            assert np.all(q.lo <= q.hi)
+
+    def test_validation_errors(self, gen):
+        with pytest.raises(ValueError):
+            gen.zipf_stream(-1)
+        with pytest.raises(ValueError):
+            gen.zipf_stream(5, universe=0)
+        with pytest.raises(ValueError):
+            gen.zipf_stream(5, shrink_fraction=1.5)
+
+    def test_zero_requests_is_empty(self, gen):
+        assert gen.zipf_stream(0) == []
