@@ -147,6 +147,15 @@ def build_parser() -> argparse.ArgumentParser:
              "explicit FIGUREs, runs the soak alone",
     )
     parser.add_argument(
+        "--shard-sweep", metavar="N", type=int,
+        help="run an N-query-per-cell bit-identity sweep of the sharded "
+             "engine (seeds x shard counts {1,2,4,8} x strategies: answers "
+             "must match the unsharded engine bit-for-bit and every I/O "
+             "counter must reconcile; with --faults, one shard is faulted "
+             "and per-shard resilience semantics are checked); exits 7 on "
+             "failure.  Without explicit FIGUREs, runs the sweep alone",
+    )
+    parser.add_argument(
         "--crash-drill", action="store_true",
         help="run the seeded crash-recovery drill: kill a durable engine at "
              "armed crash points mid-write, recover from the WAL, and check "
@@ -183,6 +192,9 @@ def main(argv=None) -> int:
     if opts.overload is not None and opts.overload < 1:
         print("--overload needs a positive request count")
         return 2
+    if opts.shard_sweep is not None and opts.shard_sweep < 1:
+        print("--shard-sweep needs a positive query count")
+        return 2
     if opts.workers < 1:
         print("--workers needs a positive worker count")
         return 2
@@ -191,8 +203,13 @@ def main(argv=None) -> int:
         return 2
     if opts.figures:
         names = list(opts.figures)
-    elif opts.chaos is not None or opts.crash_drill or opts.overload is not None:
-        names = []  # soak-/drill-only run
+    elif (
+        opts.chaos is not None
+        or opts.crash_drill
+        or opts.overload is not None
+        or opts.shard_sweep is not None
+    ):
+        names = []  # soak-/drill-/sweep-only run
     else:
         names = list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
@@ -298,6 +315,7 @@ def main(argv=None) -> int:
     chaos_report = None
     crash_report = None
     serving_report = None
+    shard_report = None
     cumulative = obs.metrics if obs is not None else None
     audit_summary = None
     faults_ctx = (
@@ -387,6 +405,19 @@ def main(argv=None) -> int:
             print()
             if opts.json is not None:
                 dump["overload"] = serving_report.as_dict()
+        if opts.shard_sweep is not None:
+            from repro.bench.shardsweep import run_shard_sweep
+
+            shard_report = run_shard_sweep(
+                n_queries=opts.shard_sweep,
+                profile=opts.faults,
+                workers=opts.workers,
+                obs=obs,
+            )
+            print(shard_report.render_text())
+            print()
+            if opts.json is not None:
+                dump["shard_sweep"] = shard_report.as_dict()
         if opts.crash_drill or opts.chaos is not None:
             # The crash-recovery drill rides along with every chaos soak:
             # same fault profile, same worker count, plus armed crashes.
@@ -447,6 +478,9 @@ def main(argv=None) -> int:
             overload=(
                 serving_report.as_dict() if serving_report is not None else None
             ),
+            shard_sweep=(
+                shard_report.as_dict() if shard_report is not None else None
+            ),
         )
         if opts.save_bench is not None:
             written = save_snapshot(snapshot, opts.save_bench)
@@ -484,10 +518,10 @@ def main(argv=None) -> int:
             print(f"[trace written to {out_dir / 'trace.jsonl'}]")
             if obs.last_cache is not None:
                 from repro.ioutil import atomic_write_json
-                from repro.obs.cacheview import CacheView
+                from repro.obs.cacheview import view_for
 
                 cache_path = out_dir / "cache.json"
-                atomic_write_json(cache_path, CacheView(obs.last_cache).snapshot())
+                atomic_write_json(cache_path, view_for(obs.last_cache).snapshot())
                 print(f"[cache introspection written to {cache_path}]")
             if opts.explain:
                 print(
@@ -519,7 +553,7 @@ def main(argv=None) -> int:
             print(render_report(obs.metrics))
     # Distinct exit codes: 1 regression, 2 usage/snapshot error, 3 a figure
     # run failed mid-workload, 4 the chaos soak failed, 5 the crash-recovery
-    # drill failed, 6 the overload soak failed.
+    # drill failed, 6 the overload soak failed, 7 the shard sweep failed.
     if figure_failures:
         print(f"[{len(figure_failures)} figure(s) failed: {figure_failures}]")
         exit_code = 3
@@ -532,6 +566,9 @@ def main(argv=None) -> int:
     if serving_report is not None and not serving_report.passed:
         print("[overload soak FAILED]")
         exit_code = 6
+    if shard_report is not None and not shard_report.passed:
+        print("[shard sweep FAILED]")
+        exit_code = 7
     return exit_code
 
 

@@ -132,6 +132,21 @@ def summarize_registry(metrics) -> dict:
             "answered": metrics.gauge_value("serving_answered"),
             "target_rps": metrics.gauge_value("serving_target_rps"),
         }
+    # The sharding figure exports the scale-out curve -- total points read
+    # and mean wall-clock per shard count -- as gauges; carry them into the
+    # snapshot so the gate holds the points-read curve tight (simulated,
+    # deterministic) while treating the fan-out wall-clock generously.
+    sharding = {}
+    for count in SHARDING_COUNTS:
+        points = metrics.gauge_value(f"sharding_points_read_{count}")
+        if points is None:
+            continue
+        sharding[f"points_read_{count}"] = points
+        sharding[f"total_ms_{count}"] = metrics.gauge_value(
+            f"sharding_total_ms_{count}"
+        )
+    if sharding:
+        summary["sharding"] = sharding
     return summary
 
 
@@ -158,6 +173,7 @@ def build_snapshot(
     run_id: Optional[str] = None,
     chaos: Optional[dict] = None,
     overload: Optional[dict] = None,
+    shard_sweep: Optional[dict] = None,
 ) -> dict:
     """Assemble the schema-versioned snapshot dict for one bench run."""
     rev = git_rev() if rev is None else rev
@@ -180,6 +196,8 @@ def build_snapshot(
         snapshot["chaos"] = chaos
     if overload is not None:
         snapshot["overload"] = overload
+    if shard_sweep is not None:
+        snapshot["shard_sweep"] = shard_sweep
     return snapshot
 
 
@@ -264,6 +282,9 @@ _METRICS = {
 
 #: Serving-section latency metrics gated (generously) by the compare.
 _SERVING_METRICS = ("p50_ms", "p95_ms", "p99_ms")
+
+#: Shard counts the sharding figure sweeps (gauge-name suffixes).
+SHARDING_COUNTS = (1, 2, 4, 8)
 
 STATUS_OK = "ok"
 STATUS_REGRESSED = "regressed"
@@ -530,6 +551,36 @@ def compare_snapshots(
                 )
                 report.findings.append(
                     Finding(fig_name, "serving", metric, b, c, status)
+                )
+        base_sharding = base_fig.get("sharding")
+        cur_sharding = cur_fig.get("sharding")
+        if isinstance(base_sharding, dict) and isinstance(cur_sharding, dict):
+            for metric in sorted(set(base_sharding) & set(cur_sharding)):
+                b, c = base_sharding.get(metric), cur_sharding.get(metric)
+                if b is None or c is None:
+                    continue
+                try:
+                    b, c = float(b), float(c)
+                except (TypeError, ValueError):
+                    report.warnings.append(
+                        f"figure {fig_name!r}: sharding metric {metric!r} "
+                        f"is not numeric; skipped"
+                    )
+                    continue
+                if b != b or c != c:
+                    continue
+                # points_read is simulated and deterministic: gate tightly.
+                # total_ms is fan-out wall-clock: gate like serving latency.
+                if metric.startswith("points_read_"):
+                    rel, floor = thresholds.rel_io, thresholds.abs_points
+                else:
+                    rel, floor = (
+                        thresholds.rel_serving,
+                        thresholds.abs_serving_ms,
+                    )
+                status = _classify(b, c, rel, floor)
+                report.findings.append(
+                    Finding(fig_name, "sharding", metric, b, c, status)
                 )
     for fig_name in sorted(set(cur_figures) - set(base_figures)):
         report.warnings.append(

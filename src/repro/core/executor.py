@@ -192,6 +192,41 @@ class Executor:
         )
 
     # ------------------------------------------------------------------
+    # Generic ordered fan-out (shard execution)
+    # ------------------------------------------------------------------
+    def map_ordered(self, tasks: Sequence) -> list:
+        """Run zero-arg callables on the pool, gathering in submission order.
+
+        The shard fan-out analogue of :meth:`fetch`: results come back in
+        task order regardless of completion order, so a sharded merge is
+        deterministic at any worker count.  Serial (calling thread, no
+        pool) when ``workers == 1`` or there is a single task.  The first
+        failing task *in submission order* raises, as with boxes.
+        """
+        tasks = list(tasks)
+        if len(tasks) <= 1 or self.workers == 1:
+            return [task() for task in tasks]
+        pool = self._ensure_pool()
+        query_id = current_query_id()
+
+        def lane(task):
+            with bind(query_id):
+                return task()
+
+        futures = [pool.submit(lane, task) for task in tasks]
+        results = []
+        first_error: Optional[BaseException] = None
+        for future in futures:  # submission order, not completion order
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    # ------------------------------------------------------------------
     # Pool lifecycle
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> ThreadPoolExecutor:

@@ -288,6 +288,7 @@ def render_summary(records: List[dict]) -> str:
     rows = []
     for rec in records:
         plan = rec.get("plan") or {}
+        shard = rec.get("shard_pruning") or {}
         rows.append(
             [
                 rec.get("query_id") or "-",
@@ -296,6 +297,12 @@ def render_summary(records: List[dict]) -> str:
                 str(plan.get("item_id", "-")),
                 len(rec.get("candidates") or ()),
                 len(rec.get("boxes") or ()),
+                (
+                    f"{shard.get('shards_scanned', 0)}/"
+                    f"{shard.get('shards_total', 0)}"
+                    if shard
+                    else "-"
+                ),
                 _fmt_cost(rec.get("predicted")),
                 _fmt_cost(rec.get("actual")),
             ]
@@ -308,6 +315,7 @@ def render_summary(records: List[dict]) -> str:
             "item",
             "cands",
             "boxes",
+            "shards",
             "predicted",
             "actual",
         ],
@@ -333,6 +341,34 @@ def render_record(record: dict) -> str:
         f"range_queries={plan.get('range_queries')} "
         f"est_points={plan.get('estimated_points')}",
     ]
+    shard = record.get("shard_pruning") or {}
+    if shard:
+        lines.append(
+            f"shards: {shard.get('shards_scanned', 0)} scanned / "
+            f"{shard.get('shards_pruned', 0)} pruned of "
+            f"{shard.get('shards_total', 0)} "
+            f"(pruning cached: {shard.get('pruning_cached')}; "
+            f"predicted surviving {shard.get('predicted_surviving')}, "
+            f"actual {shard.get('actual_surviving')}; "
+            f"merge candidates {shard.get('merge_candidates')})"
+        )
+        decisions = shard.get("decisions") or []
+        if decisions:
+            rows = [
+                [
+                    d.get("shard_id"),
+                    d.get("decision") or "-",
+                    d.get("reason") or "-",
+                ]
+                for d in decisions
+            ]
+            lines.append(
+                format_table(
+                    ["shard", "decision", "reason"],
+                    rows,
+                    title="Shard pruning decisions",
+                )
+            )
     candidates = record.get("candidates") or []
     if candidates:
         rows = [
@@ -353,7 +389,7 @@ def render_record(record: dict) -> str:
                 title="Candidates considered",
             )
         )
-    else:
+    elif not shard:
         lines.append(
             f"candidates: none ({record.get('no_candidates_reason')})"
         )

@@ -1,0 +1,280 @@
+"""Horizontal partitioning of a dataset into per-shard :class:`DiskTable`\\ s.
+
+The ROADMAP's "partition-aware sharded CBCS" item: real estate listings are
+naturally partitioned (by city/region -- here by a *partition key*, one of
+the data dimensions), and a constrained skyline query rarely touches every
+partition.  :class:`ShardedTable` owns that partitioning at the storage
+layer:
+
+- rows are split into N shards by **range** (quantile boundaries over the
+  key dimension, the city/region analogue), **hash** (CRC32 of the key
+  value -- uniform placement), or **explicit** per-row assignments (tests);
+- each shard is an independent :class:`~repro.storage.table.DiskTable`
+  (its own heap, indexes, I/O counters, and simulated disk), to be wrapped
+  in the usual ``build_backend`` stack by the engine layer;
+- alongside every shard the table maintains a :class:`ShardSummary` -- the
+  live MBR plus row count -- which is all the shard-pruning planner
+  (:mod:`repro.core.shardplan`) needs to classify a shard as
+  ``disjoint | dominated | surviving`` for a constraint region without
+  touching the shard's disk.
+
+Summaries are maintained, not recomputed: an append extends the MBR (and
+reports whether it actually grew -- the engine invalidates its cached
+pruning sets exactly then); deletes keep the MBR as a superset, which is
+conservative-safe for pruning (a too-large MBR can only under-prune).
+
+With ``shards=1`` the single shard holds the whole dataset and the sharded
+stack degenerates to the unsharded engine -- the anchor of the bit-identity
+sweep (``repro.bench.shardsweep``).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, List, Literal, Optional, Sequence
+
+import numpy as np
+
+from repro.storage.pager import IOStats
+from repro.storage.table import DiskTable
+
+PartitionMode = Literal["range", "hash", "explicit"]
+
+__all__ = ["ShardSummary", "Shard", "ShardedTable", "hash_key"]
+
+
+def hash_key(value: float, n_shards: int) -> int:
+    """Deterministic shard id for one partition-key value (CRC32 bucket).
+
+    Stable across processes and runs (unlike Python's salted ``hash``), so
+    a recovered or restarted deployment routes a row to the same shard.
+    """
+    payload = np.float64(value).tobytes()
+    return zlib.crc32(payload) % n_shards
+
+
+@dataclass
+class ShardSummary:
+    """The planner-visible digest of one shard: live MBR + row count.
+
+    ``mbr_lo``/``mbr_hi`` bound every *live* row of the shard (possibly a
+    strict superset after deletes -- never an underset, which is the safety
+    direction pruning needs).  An empty shard has ``count == 0`` and an
+    inverted (+inf/-inf) MBR.
+    """
+
+    shard_id: int
+    mbr_lo: np.ndarray
+    mbr_hi: np.ndarray
+    count: int
+
+    @property
+    def empty(self) -> bool:
+        return self.count == 0
+
+    def extend(self, rows: np.ndarray) -> bool:
+        """Grow the MBR to cover ``rows``; True iff it actually changed."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        if rows.size == 0:
+            return False
+        lo = np.minimum(self.mbr_lo, rows.min(axis=0))
+        hi = np.maximum(self.mbr_hi, rows.max(axis=0))
+        changed = bool(
+            self.count == 0
+            or np.any(lo < self.mbr_lo)
+            or np.any(hi > self.mbr_hi)
+        )
+        self.mbr_lo, self.mbr_hi = lo, hi
+        self.count += len(rows)
+        return changed
+
+    def as_dict(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "count": int(self.count),
+            "mbr_lo": [float(v) for v in self.mbr_lo],
+            "mbr_hi": [float(v) for v in self.mbr_hi],
+        }
+
+
+def _summary_of(shard_id: int, rows: np.ndarray, ndim: int) -> ShardSummary:
+    if len(rows) == 0:
+        return ShardSummary(
+            shard_id,
+            np.full(ndim, np.inf),
+            np.full(ndim, -np.inf),
+            0,
+        )
+    return ShardSummary(
+        shard_id, rows.min(axis=0).copy(), rows.max(axis=0).copy(), len(rows)
+    )
+
+
+@dataclass
+class Shard:
+    """One partition: its table plus the planner-facing summary."""
+
+    shard_id: int
+    table: DiskTable
+    summary: ShardSummary
+
+    @property
+    def name(self) -> str:
+        return f"shard{self.shard_id}"
+
+
+class ShardedTable:
+    """A dataset partitioned into per-shard :class:`DiskTable` heaps.
+
+    ``mode="range"`` splits on quantile boundaries of ``data[:, key_dim]``
+    (the city/region partitioning of the paper's real-estate scenario);
+    ``"hash"`` buckets the key value by CRC32; ``"explicit"`` takes a
+    per-row ``assignments`` array (used by tests to place coordinate
+    duplicates on different shards).  ``table_factory`` builds each shard's
+    table from its rows -- the default plain :class:`DiskTable` -- letting
+    callers thread cost models, plans, or fault wrappers per shard.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        n_shards: int,
+        mode: PartitionMode = "range",
+        key_dim: int = 0,
+        assignments: Optional[Sequence[int]] = None,
+        table_factory: Optional[Callable[[np.ndarray], DiskTable]] = None,
+    ):
+        data = np.ascontiguousarray(np.asarray(data, dtype=float))
+        if data.ndim != 2:
+            raise ValueError("data must be an (n, d) array")
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        if not 0 <= key_dim < data.shape[1]:
+            raise ValueError(f"key_dim {key_dim} out of range for {data.shape[1]} dims")
+        if mode not in ("range", "hash", "explicit"):
+            raise ValueError(f"unknown partition mode {mode!r}")
+        if (assignments is None) != (mode != "explicit"):
+            raise ValueError("assignments required iff mode='explicit'")
+        self.n_shards = int(n_shards)
+        self.mode: PartitionMode = mode
+        self.key_dim = int(key_dim)
+        self.ndim = int(data.shape[1])
+        self._boundaries: Optional[np.ndarray] = None
+
+        if mode == "explicit":
+            assigned = np.asarray(assignments, dtype=np.int64)
+            if assigned.shape != (len(data),):
+                raise ValueError("one shard assignment per row required")
+            if len(assigned) and (
+                assigned.min() < 0 or assigned.max() >= n_shards
+            ):
+                raise ValueError("assignment out of shard range")
+        elif mode == "range":
+            keys = data[:, self.key_dim]
+            if len(keys) and n_shards > 1:
+                self._boundaries = np.quantile(
+                    keys, np.arange(1, n_shards) / n_shards
+                )
+            else:
+                self._boundaries = np.empty(0)
+            assigned = np.searchsorted(self._boundaries, keys, side="right")
+        else:  # hash
+            assigned = np.fromiter(
+                (hash_key(v, n_shards) for v in data[:, self.key_dim]),
+                dtype=np.int64,
+                count=len(data),
+            )
+
+        factory = table_factory or DiskTable
+        self.shards: List[Shard] = []
+        for sid in range(self.n_shards):
+            rows = data[assigned == sid]
+            self.shards.append(
+                Shard(
+                    shard_id=sid,
+                    table=factory(rows),
+                    summary=_summary_of(sid, rows, self.ndim),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Metadata / aggregates
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n_shards
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    def __getitem__(self, shard_id: int) -> Shard:
+        return self.shards[shard_id]
+
+    @property
+    def n(self) -> int:
+        return sum(s.table.n for s in self.shards)
+
+    @property
+    def live_count(self) -> int:
+        return sum(s.table.live_count for s in self.shards)
+
+    @property
+    def summaries(self) -> List[ShardSummary]:
+        return [s.summary for s in self.shards]
+
+    def stats_total(self) -> IOStats:
+        """Aggregate I/O counters over every shard's table (fresh object).
+
+        Sums the *base* tables' counters, so a fault-wrapped shard (whose
+        decorator delegates ``stats`` to the inner table) reconciles too.
+        """
+        total = IOStats()
+        for shard in self.shards:
+            total.add(shard.table.stats)
+        return total
+
+    def estimate_count(self, dim: int, lo: float, hi: float) -> int:
+        """Fleet-level selectivity estimate: the per-shard sum (no I/O)."""
+        return sum(
+            s.table.estimate_count(dim, lo, hi)
+            for s in self.shards
+            if not s.summary.empty
+        )
+
+    # ------------------------------------------------------------------
+    # Routing + maintenance
+    # ------------------------------------------------------------------
+    def route(self, row: Sequence[float]) -> int:
+        """Shard id a new row belongs to (deterministic per mode)."""
+        row = np.asarray(row, dtype=float)
+        key = float(row[self.key_dim])
+        if self.mode == "range":
+            return int(
+                np.searchsorted(self._boundaries, key, side="right")
+            )
+        if self.mode == "hash":
+            return hash_key(key, self.n_shards)
+        raise ValueError(
+            "explicit-mode tables have no routing function; "
+            "append through append_to(shard_id, rows)"
+        )
+
+    def record_append(self, shard_id: int, rows: np.ndarray) -> bool:
+        """Fold appended rows into the shard's summary; True iff the MBR
+        grew (the signal that invalidates cached pruning sets)."""
+        return self.shards[shard_id].summary.extend(rows)
+
+    def record_delete(self, shard_id: int) -> None:
+        """Refresh the shard's live count after a delete.
+
+        The MBR is left as a (safe) superset; only the count -- which the
+        planner uses for the empty-shard check -- is re-read.
+        """
+        summary = self.shards[shard_id].summary
+        summary.count = self.shards[shard_id].table.live_count
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedTable(shards={self.n_shards}, mode={self.mode!r}, "
+            f"key_dim={self.key_dim}, n={self.n})"
+        )

@@ -201,3 +201,86 @@ class WorkloadGenerator:
                 hi[dim] = max(hi[dim] - shrink, lo[dim] + self.min_width[dim])
             out.append(Constraints(lo, hi))
         return out
+
+    def partition_stream(
+        self,
+        n: int,
+        tenants: int = 8,
+        key_dim: int = 0,
+        alpha: float = 1.1,
+        concentration: float = 0.15,
+        queries_per_tenant: int = 8,
+        shrink_fraction: float = 0.3,
+        max_shrink: float = 0.2,
+    ) -> List[Constraints]:
+        """A partition-skewed multi-tenant stream of ``n`` queries.
+
+        The sharded-deployment workload: each *tenant* (a city's users, in
+        the real-estate scenario) is anchored to a narrow interval of the
+        partition key -- ``concentration`` of the domain width on
+        ``key_dim`` -- so its queries touch few shards of a table
+        partitioned on that dimension, and a zipf(``alpha``) draw over
+        tenants makes head tenants dominate the traffic.  Every tenant
+        reuses a fixed set of ``queries_per_tenant`` base queries (repeat
+        hits for both skyline caches and the pruning-set cache), shrunk as
+        in :meth:`zipf_stream` with probability ``shrink_fraction`` (upper
+        bounds only, so variants stay subsumption-coalescible and inside
+        the tenant's key interval).  Deterministic given the generator's
+        seed.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if tenants < 1:
+            raise ValueError("tenants must be at least 1")
+        if not 0 <= key_dim < self.ndim:
+            raise ValueError(f"key_dim {key_dim} out of range for {self.ndim} dims")
+        if not 0.0 < concentration <= 1.0:
+            raise ValueError("concentration must be in (0, 1]")
+        if not 0.0 <= shrink_fraction <= 1.0:
+            raise ValueError("shrink_fraction must be in [0, 1]")
+        rng = self._rng
+        domain_width = self.domain_hi[key_dim] - self.domain_lo[key_dim]
+        half = max(domain_width * concentration, self.min_width[key_dim]) / 2.0
+        bases: List[List[Constraints]] = []
+        for _ in range(tenants):
+            center = float(
+                rng.uniform(self.domain_lo[key_dim], self.domain_hi[key_dim])
+            )
+            key_lo = float(
+                np.clip(center - half, self.domain_lo[key_dim], self.domain_hi[key_dim])
+            )
+            key_hi = float(
+                np.clip(center + half, self.domain_lo[key_dim], self.domain_hi[key_dim])
+            )
+            if key_hi - key_lo < self.min_width[key_dim]:
+                key_hi = min(
+                    key_lo + self.min_width[key_dim], float(self.domain_hi[key_dim])
+                )
+                key_lo = key_hi - self.min_width[key_dim]
+            tenant_bases = []
+            for _ in range(max(1, queries_per_tenant)):
+                base = self.initial_query()
+                lo, hi = base.lo.copy(), base.hi.copy()
+                lo[key_dim], hi[key_dim] = key_lo, key_hi
+                tenant_bases.append(Constraints(lo, hi))
+            bases.append(tenant_bases)
+        ranks = np.arange(1, tenants + 1, dtype=float)
+        probs = ranks**-float(alpha)
+        probs /= probs.sum()
+        out: List[Constraints] = []
+        for _ in range(n):
+            tenant = bases[int(rng.choice(tenants, p=probs))]
+            base = tenant[int(rng.integers(len(tenant)))]
+            if rng.random() >= shrink_fraction:
+                out.append(base)
+                continue
+            lo, hi = base.lo.copy(), base.hi.copy()
+            dims = rng.random(self.ndim) < 0.5
+            if not dims.any():
+                dims[int(rng.integers(self.ndim))] = True
+            for dim in np.flatnonzero(dims):
+                width = hi[dim] - lo[dim]
+                shrink = float(rng.uniform(0.0, max_shrink)) * width
+                hi[dim] = max(hi[dim] - shrink, lo[dim] + self.min_width[dim])
+            out.append(Constraints(lo, hi))
+        return out

@@ -115,3 +115,56 @@ class TestCli:
         dump = json.loads(out_json.read_text())
         assert dump["audit"]["summary"]["case_accuracy"] == 1.0
         assert dump["audit"]["records"][0]["plan"] is not None
+
+
+class TestShardSweepCli:
+    def test_shard_sweep_alone_runs_and_passes(self, capsys):
+        assert main(["--shard-sweep", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "# shard sweep" in out
+        assert "PASS" in out
+
+    def test_shard_sweep_needs_positive_count(self, capsys):
+        assert main(["--shard-sweep", "0"]) == 2
+        assert "positive query count" in capsys.readouterr().out
+
+    def test_shard_sweep_with_faults_and_workers(self, capsys):
+        assert main(["--shard-sweep", "3", "--faults", "default",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "faults=default" in out
+        assert "stale serves" in out
+
+    def test_shard_sweep_json_dump(self, capsys, tmp_path):
+        target = tmp_path / "out.json"
+        assert main(["--shard-sweep", "2", "--json", str(target)]) == 0
+        import json
+
+        payload = json.loads(target.read_text())
+        assert payload["shard_sweep"]["passed"] is True
+        assert payload["shard_sweep"]["cells"] > 0
+
+    def test_failing_sweep_exits_7(self, capsys, monkeypatch):
+        from repro.bench import shardsweep
+
+        def broken_sweep(**kwargs):
+            report = shardsweep.ShardSweepReport(
+                seeds=(0,), shard_counts=(1,), strategies=("max-overlap-sp",),
+                profile=None, workers=1, n_queries=1,
+            )
+            report.answer_mismatches = 1
+            return report
+
+        monkeypatch.setattr(shardsweep, "run_shard_sweep", broken_sweep)
+        assert main(["--shard-sweep", "1"]) == 7
+        assert "shard sweep FAILED" in capsys.readouterr().out
+
+    def test_sharding_figure_in_snapshot(self, capsys, tmp_path):
+        target = tmp_path / "BENCH_x.json"
+        assert main(["--save-bench", str(target), "sharding"]) == 0
+        import json
+
+        snap = json.loads(target.read_text())
+        section = snap["figures"]["sharding"]["sharding"]
+        points = [section[f"points_read_{c}"] for c in (1, 2, 4, 8)]
+        assert all(a > b for a, b in zip(points, points[1:]))

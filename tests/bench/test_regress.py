@@ -264,3 +264,56 @@ class TestRegressCli:
         path.write_text(blob[: len(blob) // 3])
         with pytest.raises(SnapshotError):
             load_snapshot(path)
+
+
+class TestShardingSection:
+    def sharded_snapshot(self, points8=12000.0, ms8=40.0, run_id="base"):
+        reg = registry_for()
+        for count, points, ms in (
+            (1, 30000.0, 25.0),
+            (2, 24000.0, 28.0),
+            (4, 17000.0, 30.0),
+            (8, points8, ms8),
+        ):
+            reg.set_gauge(f"sharding_points_read_{count}", points)
+            reg.set_gauge(f"sharding_total_ms_{count}", ms)
+        figures = {
+            "sharding": {"title": "t", "seconds": 1.0, **summarize_registry(reg)}
+        }
+        return build_snapshot(
+            scale="quick", figures=figures, rev="deadbeef", run_id=run_id
+        )
+
+    def test_gauges_become_snapshot_section(self):
+        section = self.sharded_snapshot()["figures"]["sharding"]["sharding"]
+        assert section["points_read_1"] == pytest.approx(30000.0)
+        assert section["points_read_8"] == pytest.approx(12000.0)
+        assert section["total_ms_4"] == pytest.approx(30.0)
+
+    def test_identical_snapshots_pass(self):
+        base = self.sharded_snapshot()
+        cur = self.sharded_snapshot(run_id="cur")
+        assert not compare_snapshots(base, cur).has_regressions
+
+    def test_points_read_regression_is_gated_tightly(self):
+        base = self.sharded_snapshot()
+        cur = self.sharded_snapshot(points8=15000.0, run_id="cur")  # +25%
+        report = compare_snapshots(base, cur)
+        assert report.has_regressions
+        assert any(
+            f.metric == "points_read_8" and f.status == "regressed"
+            for f in report.findings
+        )
+
+    def test_wall_clock_is_gated_generously(self):
+        base = self.sharded_snapshot()
+        # +50% and +20ms: within the serving-style wall-clock tolerance.
+        cur = self.sharded_snapshot(ms8=60.0, run_id="cur")
+        assert not compare_snapshots(base, cur).has_regressions
+        # but a 2x-plus-large-absolute blowup still fails
+        cur = self.sharded_snapshot(ms8=140.0, run_id="cur")
+        report = compare_snapshots(base, cur)
+        assert any(
+            f.metric == "total_ms_8" and f.status == "regressed"
+            for f in report.findings
+        )

@@ -1,0 +1,82 @@
+"""Tests for the bit-identity shard sweep (:mod:`repro.bench.shardsweep`)."""
+
+import json
+
+import pytest
+
+from repro.bench.shardsweep import ShardSweepReport, run_shard_sweep
+
+
+@pytest.fixture(scope="module")
+def clean_report():
+    return run_shard_sweep(
+        n_queries=8, seeds=(0,), shard_counts=(1, 2, 4), n_points=800
+    )
+
+
+class TestCleanSweep:
+    def test_passes_and_covers_every_cell(self, clean_report):
+        assert clean_report.passed
+        # 1 seed x 3 shard counts x 2 strategies
+        assert clean_report.cells == 6
+        assert clean_report.queries_checked == 6 * 8
+        assert clean_report.answer_mismatches == 0
+        assert clean_report.io_mismatches == 0
+        assert clean_report.accounting_mismatches == 0
+
+    def test_accounting_totals_reconcile(self, clean_report):
+        total = clean_report.shards_pruned + clean_report.shards_scanned
+        # sum over cells of n_queries * n_shards
+        assert total == 8 * 2 * (1 + 2 + 4)
+
+    def test_table_io_is_fully_attributed(self, clean_report):
+        # The end-of-cell strict check ran without complaint, and the sweep
+        # recorded per-shard-count totals for the trajectory.
+        assert set(clean_report.points_read_by_shards) == {1, 2, 4}
+        assert all(v > 0 for v in clean_report.points_read_by_shards.values())
+
+    def test_report_serializes_and_renders(self, clean_report):
+        payload = clean_report.as_dict()
+        json.dumps(payload)
+        assert payload["passed"] is True
+        text = clean_report.render_text()
+        assert "PASS" in text
+        assert "answer mismatches    : 0" in text
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            run_shard_sweep(n_queries=1, strategies=("quantum",))
+
+
+class TestFaultedSweep:
+    def test_faulted_shard_keeps_answers_correct(self):
+        report = run_shard_sweep(
+            n_queries=8,
+            seeds=(0,),
+            shard_counts=(1, 4),
+            strategies=("max-overlap-sp",),
+            n_points=800,
+            profile="default",
+            workers=2,
+        )
+        assert report.passed
+        assert report.profile == "default"
+        # every non-stale answer was reference-checked; stale ones flagged
+        assert report.queries_checked == 2 * 8
+        text = report.render_text()
+        assert "stale serves" in text
+
+    def test_report_records_failures(self):
+        report = ShardSweepReport(
+            seeds=(0,),
+            shard_counts=(1,),
+            strategies=("max-overlap-sp",),
+            profile=None,
+            workers=1,
+            n_queries=1,
+        )
+        report.answer_mismatches = 1
+        report.errors.append("cell x: answer differs")
+        assert not report.passed
+        assert "FAIL" in report.render_text()
+        assert report.as_dict()["passed"] is False

@@ -1,0 +1,160 @@
+"""Tests for :mod:`repro.core.shardplan` (shard pruning + plan cache)."""
+
+import numpy as np
+import pytest
+
+from repro.core.shardplan import (
+    DECISION_DISJOINT,
+    DECISION_DOMINATED,
+    DECISION_SURVIVING,
+    PruningSetCache,
+    ShardDecision,
+    prune_shards,
+)
+from repro.geometry.constraints import Constraints
+from repro.skyline.reference import brute_force_skyline
+from repro.storage.sharding import ShardedTable
+
+
+def summary(shard_id, lo, hi, count=10):
+    from repro.storage.sharding import ShardSummary
+
+    return ShardSummary(
+        shard_id=shard_id,
+        mbr_lo=np.asarray(lo, dtype=float),
+        mbr_hi=np.asarray(hi, dtype=float),
+        count=count,
+    )
+
+
+class TestPruneShards:
+    def test_empty_shard_is_disjoint(self):
+        s = summary(0, [0, 0], [0, 0], count=0)
+        (d,) = prune_shards([s], Constraints([0, 0], [1, 1]))
+        assert d.decision == DECISION_DISJOINT
+        assert d.reason == "empty-shard"
+        assert d.pruned
+
+    def test_mbr_outside_region_is_disjoint(self):
+        s = summary(0, [0.8, 0.0], [0.9, 0.2])
+        (d,) = prune_shards([s], Constraints([0.0, 0.0], [0.5, 1.0]))
+        assert d.decision == DECISION_DISJOINT
+        assert d.reason == "mbr-disjoint-dim0"
+
+    def test_inside_region_survives(self):
+        s = summary(0, [0.1, 0.1], [0.4, 0.4])
+        (d,) = prune_shards([s], Constraints([0.0, 0.0], [1.0, 1.0]))
+        assert d.decision == DECISION_SURVIVING
+        assert d.reason == "in-region"
+        assert not d.pruned
+
+    def test_dominated_shard_is_pruned(self):
+        # Shard 0 sits strictly below-left of shard 1's region corner:
+        # every point of shard 1 is dominated by shard 0's MBR top corner.
+        a = summary(0, [0.1, 0.1], [0.2, 0.2])
+        b = summary(1, [0.5, 0.5], [0.9, 0.9])
+        decisions = prune_shards([a, b], Constraints([0.0, 0.0], [1.0, 1.0]))
+        assert decisions[0].decision == DECISION_SURVIVING
+        assert decisions[1].decision == DECISION_DOMINATED
+        assert decisions[1].reason == "dominated-by-shard0"
+
+    def test_domination_requires_dominator_inside_region(self):
+        # Shard 0's MBR pokes below the constraint floor: its corner is no
+        # longer a witness point inside the region, so it must not prune.
+        a = summary(0, [-0.5, 0.1], [0.2, 0.2])
+        b = summary(1, [0.5, 0.5], [0.9, 0.9])
+        decisions = prune_shards([a, b], Constraints([0.0, 0.0], [1.0, 1.0]))
+        assert decisions[1].decision == DECISION_SURVIVING
+
+    def test_partial_overlap_survives(self):
+        s = summary(0, [0.4, 0.4], [0.8, 0.8])
+        (d,) = prune_shards([s], Constraints([0.5, 0.5], [1.0, 1.0]))
+        assert d.decision == DECISION_SURVIVING
+
+    def test_decisions_in_shard_id_order(self):
+        shards = [summary(i, [0.1 * i] * 2, [0.1 * i + 0.05] * 2) for i in range(5)]
+        decisions = prune_shards(shards, Constraints([0, 0], [1, 1]))
+        assert [d.shard_id for d in decisions] == [0, 1, 2, 3, 4]
+
+    def test_as_dict(self):
+        d = ShardDecision(3, DECISION_DISJOINT, "empty-shard")
+        assert d.as_dict() == {
+            "shard_id": 3,
+            "decision": "disjoint",
+            "reason": "empty-shard",
+        }
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("n_shards", [2, 4, 8])
+    def test_pruning_is_safe(self, seed, n_shards):
+        """Pruned shards never hold a point of the constrained skyline."""
+        rng = np.random.default_rng(seed)
+        data = rng.uniform(0, 1, size=(600, 3))
+        table = ShardedTable(data, n_shards, mode="range", key_dim=0)
+        for _ in range(20):
+            bounds = np.sort(rng.uniform(0, 1, size=(2, 3)), axis=0)
+            constraints = Constraints(bounds[0], bounds[1])
+            inside = data[constraints.satisfied_mask(data)]
+            skyline = inside[brute_force_skyline(inside)]
+            decisions = prune_shards(table.summaries, constraints)
+            surviving = np.zeros((0, 3))
+            for d, shard in zip(decisions, table):
+                if d.decision == DECISION_SURVIVING:
+                    view = shard.table.data_view()
+                    surviving = np.vstack([surviving, view])
+            # Every skyline point must live in a surviving shard.
+            for point in skyline:
+                assert any(
+                    np.allclose(point, row) for row in surviving
+                ), f"skyline point lost by pruning: {point}"
+
+
+class TestPruningSetCache:
+    def c(self, lo=0.0, hi=1.0):
+        return Constraints([lo, lo], [hi, hi])
+
+    def test_miss_then_hit(self):
+        cache = PruningSetCache()
+        assert cache.lookup(self.c()) is None
+        cache.store(self.c(), [ShardDecision(0, DECISION_SURVIVING, "in-region")])
+        got = cache.lookup(self.c())
+        assert got is not None and got[0].shard_id == 0
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = PruningSetCache(capacity=2)
+        a, b, x = self.c(0.0, 0.1), self.c(0.0, 0.2), self.c(0.0, 0.3)
+        cache.store(a, [])
+        cache.store(b, [])
+        cache.lookup(a)  # refresh a; b becomes LRU
+        cache.store(x, [])
+        assert cache.lookup(a) is not None
+        assert cache.lookup(b) is None
+        assert len(cache) == 2
+
+    def test_invalidate_clears_everything(self):
+        cache = PruningSetCache()
+        cache.store(self.c(), [])
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.lookup(self.c()) is None
+        assert cache.invalidations == 1
+
+    def test_invalidate_empty_cache_not_counted(self):
+        cache = PruningSetCache()
+        cache.invalidate()
+        assert cache.invalidations == 0
+
+    def test_stats(self):
+        cache = PruningSetCache(capacity=8)
+        cache.store(self.c(), [])
+        cache.lookup(self.c())
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["capacity"] == 8
+        assert stats["hits"] == 1
+        assert stats["hit_rate"] == 1.0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PruningSetCache(capacity=0)

@@ -213,3 +213,60 @@ class TestCLI:
         assert main([str(tmp_path), "--json"]) == 0
         parsed = json.loads(capsys.readouterr().out)
         assert len(parsed) == 2
+
+
+class TestShardedRecords:
+    """Fleet-level explain records from the sharded engine."""
+
+    def _sharded_records(self):
+        from repro.core.sharded import ShardedCBCS
+        from repro.storage.sharding import ShardedTable
+
+        recorder = ExplainRecorder(keep=8)
+        obs = Observability()
+        obs.explainer = recorder
+        engine = ShardedCBCS(ShardedTable(DATA.copy(), 4), obs=obs)
+        engine.query(BASE)
+        engine.query(Constraints([2.0] * 3, [3.0] * 3))  # all pruned
+        engine.close()
+        return recorder.records
+
+    def test_record_carries_shard_pruning(self):
+        records = self._sharded_records()
+        shard = records[0]["shard_pruning"]
+        assert shard["shards_total"] == 4
+        assert (
+            shard["shards_pruned"] + shard["shards_scanned"] == 4
+        )
+        assert len(shard["decisions"]) == 4
+        assert {d["decision"] for d in shard["decisions"]} <= {
+            "disjoint", "dominated", "surviving",
+        }
+        assert all("reason" in d for d in shard["decisions"])
+        assert shard["predicted_surviving"] == shard["shards_scanned"]
+
+    def test_all_pruned_record(self):
+        records = self._sharded_records()
+        shard = records[1]["shard_pruning"]
+        assert shard["shards_scanned"] == 0
+        assert shard["shards_pruned"] == 4
+        assert shard["actual_surviving"] == 0
+        assert records[1]["actual"]["points"] == 0
+
+    def test_render_summary_has_shards_column(self):
+        records = self._sharded_records()
+        text = render_summary(records)
+        assert "shards" in text
+        assert "0/4" in text  # the all-pruned query
+
+    def test_render_record_shows_pruning_table(self):
+        records = self._sharded_records()
+        text = render_record(records[0])
+        assert "Shard pruning decisions" in text
+        assert "shards:" in text
+        # sharded fleet records must not claim an empty cache
+        assert "candidates: none" not in text
+
+    def test_records_are_json_serializable(self):
+        for record in self._sharded_records():
+            json.dumps(record)

@@ -176,3 +176,61 @@ class TestLifecycle:
     def test_rejects_nonpositive_workers(self, data):
         with pytest.raises(ValueError):
             QueryService(CBCS(DiskTable(data)), workers=0)
+
+
+class TestShardedEngineService:
+    """QueryService over a ShardedCBCS: fleet cache stats and health."""
+
+    def make_sharded(self, data, n_shards=4):
+        from repro.core.sharded import ShardedCBCS
+        from repro.storage.sharding import ShardedTable
+
+        return ShardedCBCS(ShardedTable(data, n_shards, mode="range"))
+
+    def test_answers_correct_through_the_service(self, data):
+        engine = self.make_sharded(data)
+        queries = make_queries(data)
+        with QueryService(engine, workers=4) as svc:
+            report = svc.run(queries)
+        assert report.answered == len(queries)
+        for constraints, outcome in zip(queries, report.outcomes):
+            assert same_multiset(outcome.skyline, reference(data, constraints))
+        engine.close()
+
+    def test_stats_aggregate_per_shard_caches(self, data):
+        engine = self.make_sharded(data)
+        queries = make_queries(data, n=16)
+        with QueryService(engine, workers=2) as svc:
+            svc.run(queries + queries)  # repeats guarantee some hits
+            cache = svc.stats()["cache"]
+        assert cache is not None
+        assert cache["caches"] == 4
+        assert len(cache["per_shard"]) == 4
+        assert [s["shard_id"] for s in cache["per_shard"]] == [0, 1, 2, 3]
+        total = cache["hits"] + cache["misses"]
+        assert total > 0
+        assert cache["hit_rate"] == pytest.approx(cache["hits"] / total)
+        assert cache["items"] == sum(
+            c.stats()["items"] for c in engine.shard_caches()
+        )
+        engine.close()
+
+    def test_unsharded_stats_have_no_per_shard_breakdown(self, data):
+        engine = CBCS(DiskTable(data))
+        with QueryService(engine, workers=2) as svc:
+            svc.run(make_queries(data, n=4))
+            cache = svc.stats()["cache"]
+        assert cache is not None
+        assert cache["caches"] == 1
+        assert "per_shard" not in cache
+
+    def test_health_quarantined_sums_across_shards(self, data):
+        engine = self.make_sharded(data)
+        caches = engine.shard_caches()
+        with QueryService(engine, workers=2) as svc:
+            svc.run(make_queries(data, n=4))
+            caches[0].quarantined += 2
+            caches[3].quarantined += 1
+            health = svc.health()
+        assert health.as_dict()["quarantined"] == 3
+        engine.close()

@@ -1,0 +1,174 @@
+"""Tests for :mod:`repro.storage.sharding`."""
+
+import numpy as np
+import pytest
+
+from repro.storage.sharding import ShardedTable, hash_key
+from repro.storage.table import DiskTable
+
+
+def make_data(n=400, ndim=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, 1, size=(n, ndim))
+
+
+class TestConstruction:
+    def test_range_partitioning_covers_every_row(self):
+        data = make_data()
+        table = ShardedTable(data, 4, mode="range")
+        assert table.n_shards == 4
+        assert table.n == len(data)
+        assert sum(s.table.live_count for s in table) == len(data)
+        assert table.live_count == len(data)
+
+    def test_range_partitioning_is_ordered_on_key(self):
+        data = make_data()
+        table = ShardedTable(data, 4, mode="range", key_dim=1)
+        highs = [
+            s.table.data_view()[:, 1].max() for s in table if s.table.live_count
+        ]
+        lows = [s.table.data_view()[:, 1].min() for s in table if s.table.live_count]
+        for prev_hi, next_lo in zip(highs, lows[1:]):
+            assert prev_hi <= next_lo
+
+    def test_hash_partitioning_routes_deterministically(self):
+        data = make_data()
+        table = ShardedTable(data, 4, mode="hash", key_dim=2)
+        for shard in table:
+            for row in shard.table.data_view():
+                assert hash_key(row[2], 4) == shard.shard_id
+
+    def test_explicit_assignments(self):
+        data = make_data(n=10)
+        assignments = np.array([0, 1, 2, 0, 1, 2, 0, 1, 2, 0])
+        table = ShardedTable(data, 3, mode="explicit", assignments=assignments)
+        assert [s.table.live_count for s in table] == [4, 3, 3]
+
+    def test_explicit_requires_assignments(self):
+        with pytest.raises(ValueError):
+            ShardedTable(make_data(), 2, mode="explicit")
+
+    def test_assignments_rejected_for_other_modes(self):
+        with pytest.raises(ValueError):
+            ShardedTable(make_data(), 2, mode="range", assignments=np.zeros(400, dtype=int))
+
+    def test_bad_mode_and_counts(self):
+        with pytest.raises(ValueError):
+            ShardedTable(make_data(), 2, mode="round-robin")
+        with pytest.raises(ValueError):
+            ShardedTable(make_data(), 0)
+        with pytest.raises(ValueError):
+            ShardedTable(make_data(ndim=3), 2, key_dim=3)
+
+    def test_single_shard_holds_everything(self):
+        data = make_data()
+        table = ShardedTable(data, 1)
+        assert table[0].table.live_count == len(data)
+        assert table.summaries[0].count == len(data)
+
+    def test_empty_shards_allowed(self):
+        # All keys identical in range mode: every quantile boundary
+        # coincides, so one shard takes all rows and the rest stay empty.
+        data = np.column_stack([np.full(50, 0.5), np.linspace(0, 1, 50)])
+        table = ShardedTable(data, 4, mode="range", key_dim=0)
+        sizes = sorted(s.table.live_count for s in table)
+        assert sum(sizes) == 50
+        assert sizes[:3] == [0, 0, 0]
+
+    def test_table_factory(self):
+        data = make_data()
+        table = ShardedTable(
+            data, 2, table_factory=lambda rows: DiskTable(rows, plan="best_index")
+        )
+        assert all(s.table.plan == "best_index" for s in table)
+
+
+class TestSummaries:
+    def test_mbr_matches_shard_data(self):
+        data = make_data()
+        table = ShardedTable(data, 4)
+        for shard in table:
+            view = shard.table.data_view()
+            if not len(view):
+                assert shard.summary.empty
+                continue
+            np.testing.assert_allclose(shard.summary.mbr_lo, view.min(axis=0))
+            np.testing.assert_allclose(shard.summary.mbr_hi, view.max(axis=0))
+            assert shard.summary.count == len(view)
+
+    def test_record_append_grows_mbr(self):
+        data = make_data()
+        table = ShardedTable(data, 2)
+        outside = np.array([[2.0, 2.0, 2.0]])
+        table[1].table.append(outside)
+        changed = table.record_append(1, outside)
+        assert changed
+        np.testing.assert_allclose(table.summaries[1].mbr_hi, [2.0, 2.0, 2.0])
+
+    def test_record_append_inside_mbr_does_not_change_it(self):
+        data = make_data()
+        table = ShardedTable(data, 2)
+        summary = table.summaries[0]
+        count_before = summary.count
+        inside = ((summary.mbr_lo + summary.mbr_hi) / 2).reshape(1, -1)
+        table[0].table.append(inside)
+        assert not table.record_append(0, inside)
+        assert table.summaries[0].count == count_before + 1
+
+    def test_record_delete_refreshes_count_keeps_mbr_superset(self):
+        data = make_data()
+        table = ShardedTable(data, 2)
+        shard = table[0]
+        before = shard.summary.mbr_hi.copy()
+        extra = ((shard.summary.mbr_lo + shard.summary.mbr_hi) / 2).reshape(1, -1)
+        rowids = shard.table.append(extra)
+        table.record_append(0, extra)
+        shard.table.delete(rowids)
+        table.record_delete(0)
+        assert table.summaries[0].count == shard.table.live_count
+        np.testing.assert_allclose(table.summaries[0].mbr_hi, before)
+
+    def test_as_dict_roundtrips_json(self):
+        import json
+
+        table = ShardedTable(make_data(), 2)
+        payload = json.dumps([s.as_dict() for s in table.summaries])
+        assert json.loads(payload)[0]["shard_id"] == 0
+
+
+class TestAccounting:
+    def test_stats_total_sums_shards(self):
+        from repro.geometry.box import Box
+
+        data = make_data()
+        table = ShardedTable(data, 4)
+        for shard in table:
+            shard.table.range_query(Box.closed([0, 0, 0], [1, 1, 1]))
+        total = table.stats_total()
+        assert total.points_read == sum(
+            s.table.stats.points_read for s in table
+        )
+        assert total.points_read == len(data)
+
+    def test_estimate_count_sums_shards(self):
+        data = make_data()
+        table = ShardedTable(data, 4)
+        est = table.estimate_count(0, 0.2, 0.8)
+        flat = DiskTable(data).estimate_count(0, 0.2, 0.8)
+        assert est == pytest.approx(flat, rel=0.25, abs=20)
+
+    def test_route_matches_partitioning(self):
+        data = make_data()
+        for mode in ("range", "hash"):
+            table = ShardedTable(data, 4, mode=mode)
+            for shard in table:
+                for row in shard.table.data_view()[:5]:
+                    assert table.route(row) == shard.shard_id
+
+    def test_route_rejected_for_explicit(self):
+        data = make_data(n=6)
+        table = ShardedTable(
+            data, 2, mode="explicit", assignments=np.array([0, 1] * 3)
+        )
+        with pytest.raises(ValueError):
+            table.route(data[0])

@@ -219,3 +219,71 @@ class TestZipfStream:
 
     def test_zero_requests_is_empty(self, gen):
         assert gen.zipf_stream(0) == []
+
+
+class TestPartitionStream:
+    """The sharded-deployment traffic model: per-tenant constraint regions
+    concentrated on the partition key, zipf-skewed over tenants."""
+
+    def test_exact_length_and_determinism(self, data):
+        a = WorkloadGenerator(data, seed=13).partition_stream(50, tenants=6)
+        b = WorkloadGenerator(data, seed=13).partition_stream(50, tenants=6)
+        assert len(a) == 50
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_key_intervals_are_concentrated(self, data):
+        """Each query's extent on the partition key stays a small fraction
+        of the domain -- the property shard pruning feeds on."""
+        width = data[:, 0].max() - data[:, 0].min()
+        stream = WorkloadGenerator(data, seed=3).partition_stream(
+            60, tenants=5, key_dim=0, concentration=0.1, shrink_fraction=0.0
+        )
+        for q in stream:
+            assert q.hi[0] - q.lo[0] <= 0.2 * width + 1e-9
+
+    def test_head_tenants_repeat_base_queries(self, data):
+        stream = WorkloadGenerator(data, seed=5).partition_stream(
+            120, tenants=10, queries_per_tenant=4, shrink_fraction=0.0
+        )
+        counts = {}
+        for q in stream:
+            counts[q.key()] = counts.get(q.key(), 0) + 1
+        assert len(counts) < 40  # at most tenants * queries_per_tenant
+        assert max(counts.values()) >= 5  # zipf head dominates
+
+    def test_shrinks_only_move_upper_bounds(self, data):
+        gen = WorkloadGenerator(data, seed=9)
+        base = gen.partition_stream(
+            80, tenants=1, queries_per_tenant=1, shrink_fraction=0.0
+        )
+        shrunk = WorkloadGenerator(data, seed=9).partition_stream(
+            80, tenants=1, queries_per_tenant=1, shrink_fraction=0.8
+        )
+        base_lo, base_hi = base[0].lo, base[0].hi
+        for q in shrunk:
+            assert np.array_equal(q.lo, base_lo)
+            assert np.all(q.lo <= q.hi)
+            assert np.all(q.hi <= base_hi + 1e-12)
+
+    def test_respects_key_dim(self, data):
+        width1 = data[:, 1].max() - data[:, 1].min()
+        stream = WorkloadGenerator(data, seed=4).partition_stream(
+            40, tenants=4, key_dim=1, concentration=0.1, shrink_fraction=0.0
+        )
+        for q in stream:
+            assert q.hi[1] - q.lo[1] <= 0.2 * width1 + 1e-9
+
+    def test_validation_errors(self, gen):
+        with pytest.raises(ValueError):
+            gen.partition_stream(-1)
+        with pytest.raises(ValueError):
+            gen.partition_stream(5, tenants=0)
+        with pytest.raises(ValueError):
+            gen.partition_stream(5, key_dim=9)
+        with pytest.raises(ValueError):
+            gen.partition_stream(5, concentration=0.0)
+        with pytest.raises(ValueError):
+            gen.partition_stream(5, shrink_fraction=-0.1)
+
+    def test_zero_requests_is_empty(self, gen):
+        assert gen.partition_stream(0) == []
